@@ -1,0 +1,323 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cuisinevol/internal/cuisine"
+	"cuisinevol/internal/evomodel"
+	"cuisinevol/internal/experiment"
+	"cuisinevol/internal/flavor"
+	"cuisinevol/internal/ingest"
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+	"cuisinevol/internal/report"
+	"cuisinevol/internal/textnorm"
+)
+
+// cmdPairing runs the food-pairing analysis (Ahn et al. construction over
+// the synthetic FlavorDB-like molecule profiles) for every cuisine.
+func cmdPairing(args []string) error {
+	cf := newCorpusFlags("pairing")
+	nRand := cf.fs.Int("nrand", 50, "random-recipe null replicates")
+	flavorSeed := cf.fs.Uint64("flavor-seed", 42, "molecule-profile seed")
+	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	corpus, err := cf.corpus()
+	if err != nil {
+		return err
+	}
+	profile, err := flavor.Generate(flavor.DefaultConfig(*flavorSeed))
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		"Food-pairing analysis: recipe flavor-sharing vs random-recipe null",
+		"Region", "RealMean", "RandMean", "Delta", "Z")
+	for _, region := range cuisine.All() {
+		res, err := flavor.AnalyzeCuisine(profile, corpus.Region(region.Code), *nRand, cf.seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", region.Code, err)
+		}
+		tbl.AddRow(region.Code,
+			report.Float(res.RealMean, 3), report.Float(res.RandMean, 3),
+			report.Float(res.Delta, 3), report.Float(res.Z, 2))
+	}
+	return tbl.WriteText(os.Stdout)
+}
+
+// cmdIngest resolves a raw scraped-form JSONL file into a clean corpus.
+func cmdIngest(args []string) error {
+	cf := newCorpusFlags("ingest")
+	in := cf.fs.String("in", "", "raw recipes JSONL (default: rawify the synthetic corpus as a demo)")
+	out := cf.fs.String("out", "ingested.jsonl", "output corpus path")
+	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	var raws []ingest.RawRecipe
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		raws, err = ingest.ReadRawJSONL(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		corpus, err := cf.corpus()
+		if err != nil {
+			return err
+		}
+		raws = ingest.Rawify(corpus, cf.seed)
+		fmt.Printf("no -in file: rawified the synthetic corpus into %d records as a demo\n", len(raws))
+	}
+	corpus, stats, err := ingest.Ingest(raws, ingest.Options{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := corpus.WriteJSONL(f); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d/%d records (%d mentions, %.1f%% resolved; dropped: %d no-region, %d too-small, %d too-large) -> %s\n",
+		stats.Accepted, stats.RawRecipes, stats.Mentions, stats.ResolutionRate()*100,
+		stats.DroppedNoRegion, stats.DroppedTooSmall, stats.DroppedTooLarge, *out)
+	return nil
+}
+
+// cmdHorizontal runs the coupled multi-region model and reports how
+// migration homogenizes the regions' ingredient usage. The comparison
+// metric is the mean pairwise total-variation distance between usage
+// profiles — rank-frequency *shape* is already invariant across regions
+// (the paper's §IV finding), so homogenization shows up in *which*
+// ingredients are used, not in the distribution's shape.
+func cmdHorizontal(args []string) error {
+	cf := newCorpusFlags("horizontal")
+	regions := cf.fs.String("regions", "ITA,FRA,JPN", "comma-separated region codes")
+	model := cf.fs.String("model", "CM-R", "copy-mutate variant: CM-R, CM-C or CM-M")
+	migrations := cf.fs.String("migrations", "0,0.1,0.3,0.5", "comma-separated migration probabilities to sweep")
+	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := parseKind(*model)
+	if err != nil {
+		return err
+	}
+	corpus, err := cf.corpus()
+	if err != nil {
+		return err
+	}
+	codes := strings.Split(*regions, ",")
+	params := make(map[string]evomodel.Params, len(codes))
+	for _, code := range codes {
+		code = strings.ToUpper(strings.TrimSpace(code))
+		view := corpus.Region(code)
+		if view.Len() == 0 {
+			return fmt.Errorf("region %q has no recipes", code)
+		}
+		params[code] = evomodel.ParamsForView(view, kind, 0)
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Horizontal transmission sweep (%s over %s): mean pairwise usage distance", kind, *regions),
+		"Migration", "MeanUsageTV")
+	for _, field := range strings.Split(*migrations, ",") {
+		var migration float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(field), "%g", &migration); err != nil {
+			return fmt.Errorf("bad migration value %q", field)
+		}
+		out, err := evomodel.RunHorizontal(evomodel.HorizontalConfig{
+			Regions:   params,
+			Migration: migration,
+			Seed:      cf.seed,
+		}, corpus.Lexicon())
+		if err != nil {
+			return err
+		}
+		profiles := make(map[string]map[int]float64, len(out))
+		for code, txs := range out {
+			profiles[code] = usageProfile(txs)
+		}
+		sum, n := 0.0, 0
+		for i, a := range codes {
+			for _, b := range codes[i+1:] {
+				sum += totalVariation(profiles[strings.ToUpper(strings.TrimSpace(a))], profiles[strings.ToUpper(strings.TrimSpace(b))])
+				n++
+			}
+		}
+		tbl.AddRow(report.Float(migration, 2), report.Float(sum/float64(n), 4))
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("declining distance with migration = horizontal propagation homogenizes cuisines (paper §VII)")
+	return nil
+}
+
+// usageProfile normalizes per-ingredient usage counts of a recipe set.
+func usageProfile(txs [][]ingredient.ID) map[int]float64 {
+	counts := map[int]float64{}
+	total := 0.0
+	for _, tx := range txs {
+		for _, id := range tx {
+			counts[int(id)]++
+			total++
+		}
+	}
+	for id := range counts {
+		counts[id] /= total
+	}
+	return counts
+}
+
+// totalVariation is half the L1 distance between two discrete
+// distributions.
+func totalVariation(a, b map[int]float64) float64 {
+	d := 0.0
+	for id, v := range a {
+		diff := v - b[id]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	for id, v := range b {
+		if _, ok := a[id]; !ok {
+			d += v
+		}
+	}
+	return d / 2
+}
+
+// cmdSearch runs conjunctive ingredient queries against the corpus via
+// the inverted index and prints matching recipes with co-occurrence
+// context.
+func cmdSearch(args []string) error {
+	cf := newCorpusFlags("search")
+	region := cf.fs.String("region", "", "restrict to one region code (default: whole corpus)")
+	with := cf.fs.String("with", "tomato,basil", "comma-separated ingredient names the recipe must contain")
+	top := cf.fs.Int("top", 10, "number of matches to print")
+	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	corpus, err := cf.corpus()
+	if err != nil {
+		return err
+	}
+	lex := corpus.Lexicon()
+	norm := textnorm.NewNormalizer(lex)
+	var query []ingredient.ID
+	for _, name := range strings.Split(*with, ",") {
+		id, ok := norm.Resolve(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("unknown ingredient %q", name)
+		}
+		query = append(query, id)
+	}
+	ix := recipe.NewIndex(corpus)
+	matches := ix.ContainingAll(query...)
+	shown := 0
+	code := strings.ToUpper(*region)
+	fmt.Printf("%d recipes contain all of: %s\n\n", len(matches), strings.Join(lex.Names(query), ", "))
+	for _, rid := range matches {
+		r := corpus.Get(int(rid))
+		if code != "" && r.Region != code {
+			continue
+		}
+		fmt.Printf("  [%s] %s\n", r.Region, strings.Join(lex.Names(r.Ingredients), ", "))
+		if shown++; shown == *top {
+			break
+		}
+	}
+	fmt.Println("\nmost frequent companions of the first query ingredient:")
+	for _, c := range ix.TopCooccurring(query[0], 8) {
+		fmt.Printf("  %-24s %d recipes (jaccard %.3f)\n",
+			lex.Name(c.ID), c.Count, ix.Jaccard(query[0], c.ID))
+	}
+	return nil
+}
+
+// cmdDiff compares two corpora (per-region counts, mean sizes, usage
+// correlation and total-variation distance) — useful for validating an
+// ingestion round trip or comparing generator seeds.
+func cmdDiff(args []string) error {
+	cf := newCorpusFlags("diff")
+	other := cf.fs.String("against", "", "JSONL corpus to compare against (required)")
+	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	if *other == "" {
+		return fmt.Errorf("usage: cuisinevol diff -against other.jsonl [-corpus a.jsonl | -seed/-scale]")
+	}
+	a, err := cf.corpus()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*other)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b, err := recipe.ReadJSONL(f, ingredient.Builtin())
+	if err != nil {
+		return err
+	}
+	cmp := recipe.Compare(a, b)
+	fmt.Printf("A: %d recipes, B: %d recipes\n", cmp.RecipesA, cmp.RecipesB)
+	if len(cmp.RegionsOnlyA) > 0 {
+		fmt.Printf("regions only in A: %s\n", strings.Join(cmp.RegionsOnlyA, ", "))
+	}
+	if len(cmp.RegionsOnlyB) > 0 {
+		fmt.Printf("regions only in B: %s\n", strings.Join(cmp.RegionsOnlyB, ", "))
+	}
+	tbl := report.NewTable("", "Region", "RecipesA", "RecipesB", "MeanA", "MeanB", "UsageCorr", "UsageTV")
+	for _, rc := range cmp.PerRegion {
+		tbl.AddRow(rc.Region, rc.RecipesA, rc.RecipesB,
+			report.Float(rc.MeanSizeA, 2), report.Float(rc.MeanSizeB, 2),
+			report.Float(rc.UsageCorrelation, 4), report.Float(rc.UsageTV, 4))
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if cmp.Identical(1e-9) {
+		fmt.Println("corpora are identical up to recipe order")
+	}
+	return nil
+}
+
+// cmdCluster clusters the 25 cuisines by ingredient-usage profile and
+// prints the dendrogram and a flat partition (§III culinary diversity,
+// quantified structurally).
+func cmdCluster(args []string) error {
+	cf := newCorpusFlags("cluster")
+	k := cf.fs.Int("k", 5, "number of flat clusters to report")
+	outDir := cf.fs.String("outdir", "", "artifact output directory (optional)")
+	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := &experiment.Config{Seed: cf.seed, RecipeScale: cf.scale, OutDir: *outDir}
+	if cf.load != "" {
+		corpus, err := cf.corpus()
+		if err != nil {
+			return err
+		}
+		cfg.SetCorpus(corpus)
+	}
+	res, err := experiment.RunDiversity(cfg, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Println("merge sequence (distance, members):")
+	fmt.Print(res.Dendrogram.ASCII())
+	fmt.Println()
+	fmt.Println(res.Summary())
+	return nil
+}

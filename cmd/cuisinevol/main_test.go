@@ -1,0 +1,67 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"cuisinevol/internal/evomodel"
+	"cuisinevol/internal/ingredient"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]evomodel.Kind{
+		"CM-R": evomodel.CMRandom, "cmr": evomodel.CMRandom, "RANDOM": evomodel.CMRandom,
+		"CM-C": evomodel.CMCategory, "cmc": evomodel.CMCategory, "category": evomodel.CMCategory,
+		"CM-M": evomodel.CMMixture, "mixture": evomodel.CMMixture,
+		"NM": evomodel.NullModel, "null": evomodel.NullModel, " nm ": evomodel.NullModel,
+	}
+	for in, want := range cases {
+		got, err := parseKind(in)
+		if err != nil || got != want {
+			t.Errorf("parseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseKind("bogus"); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestCorpusFlagsGenerate(t *testing.T) {
+	cf := newCorpusFlags("test")
+	if err := cf.fs.Parse([]string{"-scale", "0.02", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := cf.corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Regions()) != 25 {
+		t.Fatalf("regions = %d", len(corpus.Regions()))
+	}
+}
+
+func TestCorpusFlagsLoadMissingFile(t *testing.T) {
+	cf := newCorpusFlags("test")
+	if err := cf.fs.Parse([]string{"-corpus", "/nonexistent/path.jsonl"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.corpus(); err == nil {
+		t.Fatal("missing corpus file accepted")
+	}
+}
+
+func TestUsageProfileAndTV(t *testing.T) {
+	a := [][]ingredient.ID{{1, 2}, {1, 3}}
+	b := [][]ingredient.ID{{1, 2}, {1, 3}}
+	pa, pb := usageProfile(a), usageProfile(b)
+	if tv := totalVariation(pa, pb); tv != 0 {
+		t.Fatalf("identical profiles TV = %v", tv)
+	}
+	c := [][]ingredient.ID{{7, 8}, {7, 9}}
+	if tv := totalVariation(pa, usageProfile(c)); math.Abs(tv-1) > 1e-12 {
+		t.Fatalf("disjoint profiles TV = %v, want 1", tv)
+	}
+	if got := pa[1]; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("profile mass for item 1 = %v, want 0.5", got)
+	}
+}

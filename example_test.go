@@ -1,0 +1,52 @@
+package cuisinevol_test
+
+import (
+	"fmt"
+
+	"cuisinevol"
+)
+
+// ExampleResolveMention demonstrates the aliasing protocol on a raw
+// ingredient mention.
+func ExampleResolveMention() {
+	lex := cuisinevol.BuiltinLexicon()
+	id, ok := cuisinevol.ResolveMention("2 cups finely chopped fresh basil leaves")
+	fmt.Println(ok, lex.Name(id), lex.CategoryOf(id))
+	// Output: true basil Herb
+}
+
+// ExampleRegionByCode shows the Table I calibration targets carried by
+// each region.
+func ExampleRegionByCode() {
+	ita, _ := cuisinevol.RegionByCode("ITA")
+	fmt.Println(ita.Name, ita.Recipes, ita.Ingredients)
+	fmt.Println(ita.Overrepresented)
+	// Output:
+	// Italy 23179 506
+	// [olive parmesan cheese basil garlic tomato]
+}
+
+// ExampleGenerateCorpus generates a deterministic scaled corpus.
+func ExampleGenerateCorpus() {
+	corpus, err := cuisinevol.GenerateCorpus(42, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(corpus.Regions()), corpus.RegionLen("CAM") > 0)
+	// Output: 25 true
+}
+
+// ExampleMineCombinations mines a cuisine's frequent combinations.
+func ExampleMineCombinations() {
+	corpus, err := cuisinevol.GenerateCorpus(42, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	res, err := cuisinevol.MineCombinations(corpus, "ITA", 0.05)
+	if err != nil {
+		panic(err)
+	}
+	d := cuisinevol.RankFrequency("ITA", res)
+	fmt.Println(d.Len() > 50, d.Freqs[0] > d.Freqs[d.Len()-1])
+	// Output: true true
+}

@@ -1,0 +1,61 @@
+// Evolution: reproduce one cuisine's slice of the paper's Fig 4 — compare
+// the three copy-mutate models and the null model against the empirical
+// rank-frequency distribution of frequent ingredient combinations.
+//
+//	go run ./examples/evolution [-region ITA] [-scale 0.2] [-replicates 25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cuisinevol"
+	"cuisinevol/internal/plot"
+)
+
+func main() {
+	region := flag.String("region", "ITA", "cuisine code (e.g. ITA, KOR, INSC)")
+	scale := flag.Float64("scale", 0.2, "corpus scale")
+	replicates := flag.Int("replicates", 25, "model replicates (paper: 100)")
+	flag.Parse()
+
+	corpus, err := cuisinevol.GenerateCorpus(42, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := cuisinevol.CompareModels(corpus, *region, cuisinevol.CompareOptions{
+		Replicates: *replicates,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fig 4 for %s: MAE (Eq 2) between empirical and model distributions\n\n", *region)
+	fmt.Println("model  MAE       ranks")
+	kinds := []cuisinevol.ModelKind{
+		cuisinevol.CMRandom, cuisinevol.CMCategory,
+		cuisinevol.CMMixture, cuisinevol.NullModel,
+	}
+	for _, kind := range kinds {
+		marker := " "
+		if kind == cmp.Best {
+			marker = "*" // lowest MAE
+		}
+		fmt.Printf("%-5s  %.5f%s  %5d\n", kind, cmp.MAE[kind], marker, cmp.Models[kind].Len())
+	}
+	fmt.Printf("\nempirical distribution: %d ranks; best model: %s\n", cmp.Empirical.Len(), cmp.Best)
+	fmt.Println("note the null model's rapid, abrupt decline vs the gradual copy-mutate curves:")
+
+	chart := plot.ASCIIChart{
+		Title: fmt.Sprintf("%s: rank-frequency (log-log)", *region),
+		Width: 72, Height: 18, LogX: true, LogY: true,
+		Series: []plot.Series{
+			plot.RankSeries("empirical", cmp.Empirical.Freqs),
+			plot.RankSeries("CM-R", cmp.Models[cuisinevol.CMRandom].Freqs),
+			plot.RankSeries("NM", cmp.Models[cuisinevol.NullModel].Freqs),
+		},
+	}
+	fmt.Print(chart.Render())
+}

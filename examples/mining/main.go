@@ -1,0 +1,80 @@
+// Mining: explore the invariant patterns of §IV — mine each cuisine's
+// frequent ingredient combinations (support >= 5%) and show that while
+// the popular combinations differ between cuisines, their rank-frequency
+// distributions are nearly identical (quantified by the paper's Eq 2).
+//
+//	go run ./examples/mining [-scale 0.15] [-support 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cuisinevol"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.15, "corpus scale")
+	support := flag.Float64("support", 0.05, "minimum combination support")
+	flag.Parse()
+
+	corpus, err := cuisinevol.GenerateCorpus(42, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lex := corpus.Lexicon()
+
+	// The popular combinations are cuisine-specific...
+	fmt.Println("top 5 frequent ingredient combinations of size >= 2:")
+	for _, code := range []string{"ITA", "JPN", "MEX"} {
+		res, err := cuisinevol.MineCombinations(corpus, code, *support)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s (%d frequent combinations):\n", code, len(res.Sets))
+		printed := 0
+		for _, s := range res.Sets {
+			if len(s.Items) < 2 {
+				continue
+			}
+			names := make([]string, len(s.Items))
+			for i, id := range s.Items {
+				names[i] = lex.Name(id)
+			}
+			fmt.Printf("  %.3f  %s\n", s.Support(res.N), strings.Join(names, " + "))
+			if printed++; printed == 5 {
+				break
+			}
+		}
+	}
+
+	// ...but their rank-frequency distributions are invariant.
+	codes := []string{"ITA", "JPN", "MEX", "FRA", "INSC", "USA"}
+	dists := make([]cuisinevol.Distribution, len(codes))
+	for i, code := range codes {
+		res, err := cuisinevol.MineCombinations(corpus, code, *support)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dists[i] = cuisinevol.RankFrequency(code, res)
+	}
+	fmt.Printf("\npairwise Eq 2 distances (the paper's 25-cuisine average is 0.035):\n\n      ")
+	for _, code := range codes {
+		fmt.Printf("%8s", code)
+	}
+	fmt.Println()
+	for i, a := range dists {
+		fmt.Printf("%-6s", codes[i])
+		for _, b := range dists {
+			d, err := cuisinevol.DistributionDistance(a, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8.4f", d)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nsmall values everywhere: the rank-frequency pattern transcends cuisines.")
+}

@@ -1,0 +1,3 @@
+module cuisinevol
+
+go 1.22

@@ -1,0 +1,92 @@
+// Package catprofile computes the category-composition analysis of Fig 2:
+// for each cuisine and each of the 21 ingredient categories, the
+// distribution (boxplot) of the number of ingredients per recipe drawn
+// from that category.
+package catprofile
+
+import (
+	"fmt"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+	"cuisinevol/internal/stats"
+)
+
+// Profile holds, for one cuisine, the per-category usage distributions.
+type Profile struct {
+	Region string
+	// PerRecipe[c] lists, for every recipe, how many of its ingredients
+	// belong to category c.
+	PerRecipe [ingredient.NumCategories][]float64
+}
+
+// New computes the profile of a corpus view. An error is returned for an
+// empty view.
+func New(view recipe.View) (*Profile, error) {
+	if view.Len() == 0 {
+		return nil, fmt.Errorf("catprofile: view %q has no recipes", view.Region())
+	}
+	p := &Profile{Region: view.Region()}
+	lex := view.Lexicon()
+	for c := range p.PerRecipe {
+		p.PerRecipe[c] = make([]float64, 0, view.Len())
+	}
+	view.Each(func(r recipe.Recipe) bool {
+		counts := r.CategoryCounts(lex)
+		for c, n := range counts {
+			p.PerRecipe[c] = append(p.PerRecipe[c], float64(n))
+		}
+		return true
+	})
+	return p, nil
+}
+
+// Mean returns the average number of ingredients per recipe from the
+// category — the quantity Fig 2's boxplots are drawn over.
+func (p *Profile) Mean(c ingredient.Category) float64 {
+	return stats.Mean(p.PerRecipe[c])
+}
+
+// Boxplot returns the five-number summary of the category's usage.
+func (p *Profile) Boxplot(c ingredient.Category) (stats.Boxplot, error) {
+	return stats.NewBoxplot(p.PerRecipe[c])
+}
+
+// Means returns the per-category means in category order.
+func (p *Profile) Means() [ingredient.NumCategories]float64 {
+	var out [ingredient.NumCategories]float64
+	for c := range out {
+		out[c] = p.Mean(ingredient.Category(c))
+	}
+	return out
+}
+
+// TopCategories returns the categories sorted by descending mean usage —
+// the paper observes Vegetable, Additive, Spice, Dairy, Herb, Plant and
+// Fruit lead in all cuisines.
+func (p *Profile) TopCategories() []ingredient.Category {
+	means := p.Means()
+	out := ingredient.AllCategories()
+	// insertion sort over 21 elements, descending by mean, stable by
+	// category order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && means[out[j]] > means[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Table computes profiles for every region of the corpus, keyed by
+// region code.
+func Table(corpus *recipe.Corpus) (map[string]*Profile, error) {
+	out := make(map[string]*Profile)
+	for _, region := range corpus.Regions() {
+		p, err := New(corpus.Region(region))
+		if err != nil {
+			return nil, err
+		}
+		out[region] = p
+	}
+	return out, nil
+}

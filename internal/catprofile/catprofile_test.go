@@ -1,0 +1,189 @@
+package catprofile
+
+import (
+	"math"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+	"cuisinevol/internal/synth"
+)
+
+var lex = ingredient.Builtin()
+
+func id(name string) ingredient.ID { return lex.MustID(name) }
+
+func buildCorpus(t *testing.T) *recipe.Corpus {
+	t.Helper()
+	c := recipe.NewCorpus(lex)
+	add := func(region string, names ...string) {
+		ids := make([]ingredient.ID, len(names))
+		for i, n := range names {
+			ids[i] = id(n)
+		}
+		if err := c.Add(recipe.Recipe{Region: region, Ingredients: ids}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Region A: recipe 1 has 2 vegetables + 1 herb; recipe 2 has 1 vegetable.
+	add("A", "tomato", "onion", "basil")
+	add("A", "carrot")
+	// Region B: dairy-heavy.
+	add("B", "butter", "milk", "cream")
+	return c
+}
+
+func TestProfileExactCounts(t *testing.T) {
+	c := buildCorpus(t)
+	p, err := New(c.Region("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	veg := p.PerRecipe[ingredient.Vegetable]
+	if len(veg) != 2 || veg[0] != 2 || veg[1] != 1 {
+		t.Fatalf("vegetable counts = %v, want [2 1]", veg)
+	}
+	if got := p.Mean(ingredient.Vegetable); got != 1.5 {
+		t.Fatalf("vegetable mean = %v", got)
+	}
+	if got := p.Mean(ingredient.Herb); got != 0.5 {
+		t.Fatalf("herb mean = %v", got)
+	}
+	if got := p.Mean(ingredient.Dairy); got != 0 {
+		t.Fatalf("dairy mean = %v, want 0", got)
+	}
+}
+
+func TestProfileEmptyView(t *testing.T) {
+	c := buildCorpus(t)
+	if _, err := New(c.Region("NONE")); err == nil {
+		t.Fatal("empty view must error")
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	c := buildCorpus(t)
+	p, err := New(c.Region("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Boxplot(ingredient.Vegetable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 2 || b.Min != 1 || b.Max != 2 {
+		t.Fatalf("boxplot = %+v", b)
+	}
+}
+
+func TestTopCategories(t *testing.T) {
+	c := buildCorpus(t)
+	p, err := New(c.Region("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopCategories()
+	if top[0] != ingredient.Dairy {
+		t.Fatalf("top category = %s, want Dairy", top[0])
+	}
+	if len(top) != ingredient.NumCategories {
+		t.Fatalf("TopCategories returned %d entries", len(top))
+	}
+}
+
+func TestTable(t *testing.T) {
+	c := buildCorpus(t)
+	tbl, err := Table(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl) != 2 || tbl["A"] == nil || tbl["B"] == nil {
+		t.Fatalf("Table keys wrong: %v", tbl)
+	}
+}
+
+// TestFig2Contrasts reproduces the qualitative Fig 2 statements on a
+// synthetic corpus: INSC and AFR use spices more than JPN/ANZ/IRL, and
+// SCND/FRA/IRL use dairy more than JPN/SEA/THA/KOR.
+func TestFig2Contrasts(t *testing.T) {
+	cfg := synth.DefaultConfig(42)
+	cfg.RecipeScale = 0.15
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Table(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spice := func(code string) float64 { return tbl[code].Mean(ingredient.Spice) }
+	dairy := func(code string) float64 { return tbl[code].Mean(ingredient.Dairy) }
+	for _, hi := range []string{"INSC", "AFR"} {
+		for _, lo := range []string{"JPN", "ANZ", "IRL"} {
+			if spice(hi) <= spice(lo) {
+				t.Errorf("spice usage: %s (%.2f) should exceed %s (%.2f)", hi, spice(hi), lo, spice(lo))
+			}
+		}
+	}
+	for _, hi := range []string{"SCND", "FRA", "IRL"} {
+		for _, lo := range []string{"JPN", "SEA", "THA", "KOR"} {
+			if dairy(hi) <= dairy(lo) {
+				t.Errorf("dairy usage: %s (%.2f) should exceed %s (%.2f)", hi, dairy(hi), lo, dairy(lo))
+			}
+		}
+	}
+}
+
+// TestFig2LeadingCategories checks the paper's statement that Vegetable,
+// Additive, Spice, Dairy, Herb, Plant and Fruit are used more frequently
+// than other categories, in aggregate.
+func TestFig2LeadingCategories(t *testing.T) {
+	cfg := synth.DefaultConfig(7)
+	cfg.RecipeScale = 0.15
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(corpus.AllView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopCategories()[:8]
+	leading := map[ingredient.Category]bool{
+		ingredient.Vegetable: true, ingredient.Additive: true,
+		ingredient.Spice: true, ingredient.Dairy: true,
+		ingredient.Herb: true, ingredient.Plant: true, ingredient.Fruit: true,
+	}
+	hits := 0
+	for _, c := range top {
+		if leading[c] {
+			hits++
+		}
+	}
+	if hits < 6 {
+		t.Fatalf("only %d of the paper's 7 leading categories are in the aggregate top 8: %v", hits, top)
+	}
+}
+
+func TestMeansSumToMeanSize(t *testing.T) {
+	// Per-recipe category counts partition the recipe, so category means
+	// must sum to the mean recipe size.
+	cfg := synth.DefaultConfig(11)
+	cfg.RecipeScale = 0.05
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := corpus.Region("ITA")
+	p, err := New(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, m := range p.Means() {
+		sum += m
+	}
+	if math.Abs(sum-view.MeanSize()) > 1e-9 {
+		t.Fatalf("category means sum to %v, mean size is %v", sum, view.MeanSize())
+	}
+}

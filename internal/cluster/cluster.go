@@ -1,0 +1,249 @@
+// Package cluster implements agglomerative hierarchical clustering,
+// used to quantify the paper's §III "culinary diversity": cuisines
+// clustered by their ingredient-usage profiles recover geo-cultural
+// groupings (the dairy-baking European block, the soy-ginger East-Asian
+// block, ...), complementing the per-ingredient overrepresentation view.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Linkage selects how inter-cluster distance is computed.
+type Linkage int
+
+const (
+	// Single linkage: minimum pairwise distance.
+	Single Linkage = iota
+	// Complete linkage: maximum pairwise distance.
+	Complete
+	// Average linkage (UPGMA): mean pairwise distance.
+	Average
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	}
+	return fmt.Sprintf("Linkage(%d)", int(l))
+}
+
+// Merge is one agglomeration step. Nodes 0..n-1 are the leaves; node
+// n+i is the cluster created by Merges[i].
+type Merge struct {
+	A, B     int
+	Distance float64
+	Size     int // leaves under the new node
+}
+
+// Dendrogram is the full merge tree over labeled leaves.
+type Dendrogram struct {
+	Labels []string
+	Merges []Merge
+}
+
+// Agglomerate builds the dendrogram from a symmetric distance matrix
+// using the Lance-Williams update for the chosen linkage.
+func Agglomerate(labels []string, dist [][]float64, linkage Linkage) (*Dendrogram, error) {
+	n := len(labels)
+	if n == 0 {
+		return nil, errors.New("cluster: no items")
+	}
+	if len(dist) != n {
+		return nil, fmt.Errorf("cluster: distance matrix is %dx%d for %d labels", len(dist), len(dist), n)
+	}
+	for i := range dist {
+		if len(dist[i]) != n {
+			return nil, fmt.Errorf("cluster: row %d has %d entries", i, len(dist[i]))
+		}
+		for j := range dist[i] {
+			if math.IsNaN(dist[i][j]) || dist[i][j] < 0 {
+				return nil, fmt.Errorf("cluster: invalid distance at (%d,%d): %v", i, j, dist[i][j])
+			}
+			if math.Abs(dist[i][j]-dist[j][i]) > 1e-9 {
+				return nil, fmt.Errorf("cluster: matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	d := &Dendrogram{Labels: append([]string(nil), labels...)}
+	// active maps current cluster handle -> node id and leaf count;
+	// distances kept in a mutable copy indexed by handle.
+	type clusterState struct {
+		node int
+		size int
+	}
+	active := make(map[int]clusterState, n)
+	cur := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		active[i] = clusterState{node: i, size: 1}
+		cur[i] = append([]float64(nil), dist[i]...)
+	}
+	handles := make([]int, n)
+	for i := range handles {
+		handles[i] = i
+	}
+
+	for len(handles) > 1 {
+		// Find the closest active pair (deterministic tie-break on
+		// handle order).
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for x := 0; x < len(handles); x++ {
+			for y := x + 1; y < len(handles); y++ {
+				i, j := handles[x], handles[y]
+				if cur[i][j] < best {
+					best = cur[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		newNode := n + len(d.Merges)
+		newSize := a.size + b.size
+		d.Merges = append(d.Merges, Merge{A: a.node, B: b.node, Distance: best, Size: newSize})
+
+		// Lance-Williams update into slot bi; retire bj.
+		for _, h := range handles {
+			if h == bi || h == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case Single:
+				nd = math.Min(cur[bi][h], cur[bj][h])
+			case Complete:
+				nd = math.Max(cur[bi][h], cur[bj][h])
+			case Average:
+				nd = (float64(a.size)*cur[bi][h] + float64(b.size)*cur[bj][h]) / float64(newSize)
+			default:
+				return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+			}
+			cur[bi][h] = nd
+			cur[h][bi] = nd
+		}
+		active[bi] = clusterState{node: newNode, size: newSize}
+		delete(active, bj)
+		out := handles[:0]
+		for _, h := range handles {
+			if h != bj {
+				out = append(out, h)
+			}
+		}
+		handles = out
+	}
+	return d, nil
+}
+
+// Cut returns k flat clusters by undoing the last k-1 merges. Each
+// cluster lists its leaf labels sorted; clusters are sorted by their
+// first label. k is clamped to [1, len(Labels)].
+func (d *Dendrogram) Cut(k int) [][]string {
+	n := len(d.Labels)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// Union-find over leaves, applying the first n-k merges.
+	parent := make([]int, n+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n-k && i < len(d.Merges); i++ {
+		m := d.Merges[i]
+		node := n + i
+		parent[find(m.A)] = node
+		parent[find(m.B)] = node
+	}
+	groups := make(map[int][]string)
+	for leaf := 0; leaf < n; leaf++ {
+		root := find(leaf)
+		groups[root] = append(groups[root], d.Labels[leaf])
+	}
+	out := make([][]string, 0, len(groups))
+	for _, g := range groups {
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ASCII renders the merge sequence as an indented outline: each line is
+// one merge, from tightest to loosest, listing the leaves joined.
+func (d *Dendrogram) ASCII() string {
+	n := len(d.Labels)
+	leaves := make(map[int][]string, n+len(d.Merges))
+	for i, l := range d.Labels {
+		leaves[i] = []string{l}
+	}
+	var b strings.Builder
+	for i, m := range d.Merges {
+		node := n + i
+		merged := append(append([]string(nil), leaves[m.A]...), leaves[m.B]...)
+		sort.Strings(merged)
+		leaves[node] = merged
+		fmt.Fprintf(&b, "%.4f  %s\n", m.Distance, strings.Join(merged, " "))
+	}
+	return b.String()
+}
+
+// CosineDistance converts row vectors into a pairwise cosine-distance
+// matrix (1 − cosine similarity). Zero vectors are at distance 1 from
+// everything (and 0 from themselves).
+func CosineDistance(vectors [][]float64) [][]float64 {
+	n := len(vectors)
+	norms := make([]float64, n)
+	for i, v := range vectors {
+		s := 0.0
+		for _, x := range v {
+			s += x * x
+		}
+		norms[i] = math.Sqrt(s)
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := 1.0
+			if norms[i] > 0 && norms[j] > 0 {
+				dot := 0.0
+				for k := range vectors[i] {
+					dot += vectors[i][k] * vectors[j][k]
+				}
+				sim := dot / (norms[i] * norms[j])
+				if sim > 1 {
+					sim = 1
+				}
+				if sim < -1 {
+					sim = -1
+				}
+				d = 1 - sim
+			}
+			out[i][j], out[j][i] = d, d
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// toy distance matrix: {a,b} close, {c,d} close, the pairs far apart.
+func toyMatrix() ([]string, [][]float64) {
+	labels := []string{"a", "b", "c", "d"}
+	d := [][]float64{
+		{0, 0.1, 0.9, 0.8},
+		{0.1, 0, 0.85, 0.95},
+		{0.9, 0.85, 0, 0.2},
+		{0.8, 0.95, 0.2, 0},
+	}
+	return labels, d
+}
+
+func TestAgglomerateToy(t *testing.T) {
+	labels, dist := toyMatrix()
+	for _, linkage := range []Linkage{Single, Complete, Average} {
+		den, err := Agglomerate(labels, dist, linkage)
+		if err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+		if len(den.Merges) != 3 {
+			t.Fatalf("%v: %d merges, want 3", linkage, len(den.Merges))
+		}
+		// First merge: the tightest pair (a,b) at 0.1.
+		if den.Merges[0].Distance != 0.1 {
+			t.Fatalf("%v: first merge at %v", linkage, den.Merges[0].Distance)
+		}
+		// Cut into 2 clusters: {a,b} and {c,d}.
+		got := den.Cut(2)
+		want := [][]string{{"a", "b"}, {"c", "d"}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: Cut(2) = %v", linkage, got)
+		}
+		// Distances must be non-decreasing along the merge sequence for
+		// these linkages on a metric-like input.
+		for i := 1; i < len(den.Merges); i++ {
+			if den.Merges[i].Distance < den.Merges[i-1].Distance-1e-12 {
+				t.Fatalf("%v: merge distances decreased", linkage)
+			}
+		}
+	}
+}
+
+func TestCutBounds(t *testing.T) {
+	labels, dist := toyMatrix()
+	den, err := Agglomerate(labels, dist, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := den.Cut(0); len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("Cut(0) = %v", got)
+	}
+	if got := den.Cut(10); len(got) != 4 {
+		t.Fatalf("Cut(10) = %v", got)
+	}
+	all := den.Cut(1)
+	if len(all) != 1 || !reflect.DeepEqual(all[0], []string{"a", "b", "c", "d"}) {
+		t.Fatalf("Cut(1) = %v", all)
+	}
+}
+
+func TestAgglomerateSingleItem(t *testing.T) {
+	den, err := Agglomerate([]string{"x"}, [][]float64{{0}}, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(den.Merges) != 0 {
+		t.Fatal("single item must not merge")
+	}
+	if got := den.Cut(1); len(got) != 1 || got[0][0] != "x" {
+		t.Fatalf("Cut = %v", got)
+	}
+}
+
+func TestAgglomerateErrors(t *testing.T) {
+	if _, err := Agglomerate(nil, nil, Average); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Agglomerate([]string{"a", "b"}, [][]float64{{0}}, Average); err == nil {
+		t.Fatal("wrong matrix size accepted")
+	}
+	if _, err := Agglomerate([]string{"a", "b"}, [][]float64{{0, 1}, {2, 0}}, Average); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if _, err := Agglomerate([]string{"a", "b"}, [][]float64{{0, -1}, {-1, 0}}, Average); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+	if _, err := Agglomerate([]string{"a", "b"}, [][]float64{{0, math.NaN()}, {math.NaN(), 0}}, Average); err == nil {
+		t.Fatal("NaN distance accepted")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	labels, dist := toyMatrix()
+	den, err := Agglomerate(labels, dist, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := den.ASCII()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ASCII lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "a b") {
+		t.Fatalf("first merge line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "a b c d") {
+		t.Fatalf("root line = %q", lines[2])
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	vectors := [][]float64{
+		{1, 0, 0},
+		{2, 0, 0}, // same direction
+		{0, 1, 0}, // orthogonal
+		{0, 0, 0}, // zero vector
+	}
+	d := CosineDistance(vectors)
+	if d[0][1] != 0 {
+		t.Fatalf("parallel vectors distance = %v", d[0][1])
+	}
+	if math.Abs(d[0][2]-1) > 1e-12 {
+		t.Fatalf("orthogonal distance = %v", d[0][2])
+	}
+	if d[0][3] != 1 {
+		t.Fatalf("zero-vector distance = %v", d[0][3])
+	}
+	if d[0][0] != 0 || d[3][3] != 0 {
+		t.Fatal("diagonal must be zero")
+	}
+	for i := range d {
+		for j := range d {
+			if d[i][j] != d[j][i] {
+				t.Fatal("not symmetric")
+			}
+		}
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Single.String() != "single" || Complete.String() != "complete" || Average.String() != "average" {
+		t.Fatal("linkage names wrong")
+	}
+	if Linkage(9).String() == "" {
+		t.Fatal("unknown linkage must render")
+	}
+}

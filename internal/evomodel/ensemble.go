@@ -1,0 +1,166 @@
+package evomodel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/itemset"
+	"cuisinevol/internal/rankfreq"
+)
+
+// EnsembleConfig configures a replicate ensemble: the paper generates 100
+// independent sets of model recipes per cuisine and studies the
+// aggregated statistics.
+type EnsembleConfig struct {
+	Params Params
+	// Replicates is the number of independent runs (paper: 100).
+	Replicates int
+	// MinSupport is the frequent-combination threshold (paper: 0.05).
+	MinSupport float64
+	// Categories switches mining from ingredient combinations to
+	// ingredient-category combinations (the §VI control experiment).
+	Categories bool
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Label annotates the aggregated distribution (defaults to the model
+	// kind's abbreviation).
+	Label string
+}
+
+// RunEnsemble executes the configured replicates in parallel, mines each
+// replicate's frequent combinations, and returns the rank-wise aggregated
+// rank-frequency distribution.
+//
+// Replicate r uses seed Params.Seed + r mixed through the splittable RNG,
+// so ensembles are reproducible and replicates independent.
+func RunEnsemble(cfg EnsembleConfig, lex *ingredient.Lexicon) (rankfreq.Distribution, error) {
+	agg, _, err := runEnsemble(cfg, lex)
+	return agg, err
+}
+
+// EnsembleDetail carries the aggregate plus the per-replicate
+// distributions, for dispersion statistics over the ensemble.
+type EnsembleDetail struct {
+	Aggregate  rankfreq.Distribution
+	Replicates []rankfreq.Distribution
+}
+
+// ReplicateDistances scores every replicate against a reference
+// distribution with the given metric — the spread behind the aggregate's
+// single Eq 2 value.
+func (d *EnsembleDetail) ReplicateDistances(ref rankfreq.Distribution, metric rankfreq.Metric) ([]float64, error) {
+	out := make([]float64, len(d.Replicates))
+	for i, rep := range d.Replicates {
+		v, err := metric(ref, rep)
+		if err != nil {
+			return nil, fmt.Errorf("evomodel: replicate %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// RunEnsembleDetailed is RunEnsemble keeping the per-replicate
+// distributions.
+func RunEnsembleDetailed(cfg EnsembleConfig, lex *ingredient.Lexicon) (*EnsembleDetail, error) {
+	agg, reps, err := runEnsemble(cfg, lex)
+	if err != nil {
+		return nil, err
+	}
+	return &EnsembleDetail{Aggregate: agg, Replicates: reps}, nil
+}
+
+func runEnsemble(cfg EnsembleConfig, lex *ingredient.Lexicon) (rankfreq.Distribution, []rankfreq.Distribution, error) {
+	if cfg.Replicates < 1 {
+		return rankfreq.Distribution{}, nil, fmt.Errorf("evomodel: Replicates must be >= 1, got %d", cfg.Replicates)
+	}
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return rankfreq.Distribution{}, nil, fmt.Errorf("evomodel: MinSupport must be in (0,1], got %v", cfg.MinSupport)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Replicates {
+		workers = cfg.Replicates
+	}
+	label := cfg.Label
+	if label == "" {
+		label = cfg.Params.Kind.String()
+	}
+
+	dists := make([]rankfreq.Distribution, cfg.Replicates)
+	errs := make([]error, cfg.Replicates)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				dists[rep], errs[rep] = runReplicate(cfg, lex, label, rep)
+			}
+		}()
+	}
+	for rep := 0; rep < cfg.Replicates; rep++ {
+		jobs <- rep
+	}
+	close(jobs)
+	wg.Wait()
+	for rep, err := range errs {
+		if err != nil {
+			return rankfreq.Distribution{}, nil, fmt.Errorf("evomodel: replicate %d: %w", rep, err)
+		}
+	}
+	return rankfreq.Aggregate(dists), dists, nil
+}
+
+// runReplicate executes one model run and mines its combinations.
+func runReplicate(cfg EnsembleConfig, lex *ingredient.Lexicon, label string, rep int) (rankfreq.Distribution, error) {
+	p := cfg.Params
+	p.Seed = replicateSeed(p.Seed, rep)
+	txs, err := Run(p, lex)
+	if err != nil {
+		return rankfreq.Distribution{}, err
+	}
+	if cfg.Categories {
+		txs = toCategoryTransactions(txs, lex)
+	}
+	res, err := itemset.FPGrowth(txs, cfg.MinSupport)
+	if err != nil {
+		return rankfreq.Distribution{}, err
+	}
+	return rankfreq.FromResult(label, res), nil
+}
+
+// replicateSeed derives the seed for replicate rep from the base seed
+// (SplitMix64 step keyed by the replicate index).
+func replicateSeed(base uint64, rep int) uint64 {
+	z := base + uint64(rep+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// toCategoryTransactions maps ingredient transactions to sorted distinct
+// category sets (as ingredient.ID-compatible ints), the representation
+// used by the category-combination analyses.
+func toCategoryTransactions(txs [][]ingredient.ID, lex *ingredient.Lexicon) [][]ingredient.ID {
+	out := make([][]ingredient.ID, len(txs))
+	for i, tx := range txs {
+		var present [ingredient.NumCategories]bool
+		for _, id := range tx {
+			present[lex.CategoryOf(id)] = true
+		}
+		cats := make([]ingredient.ID, 0, 8)
+		for c, ok := range present {
+			if ok {
+				cats = append(cats, ingredient.ID(c))
+			}
+		}
+		out[i] = cats
+	}
+	return out
+}

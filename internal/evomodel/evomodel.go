@@ -1,0 +1,464 @@
+// Package evomodel implements the culinary evolution models of the paper
+// (§V, Algorithm 1): the copy-mutate family — Copy-Mutate Random (CM-R),
+// Copy-Mutate Category (CM-C), Copy-Mutate Mixture (CM-M) — and the Null
+// Model (NM) control, together with the replicate-ensemble runner used to
+// aggregate statistics over 100 independent runs.
+//
+// The models evolve a recipe pool from a small primitive pool by repeated
+// duplication and fitness-biased mutation, growing the ingredient pool so
+// that its size tracks φ·(recipe count), where φ is the empirical ratio
+// of unique ingredients to recipes in the cuisine being modeled.
+package evomodel
+
+import (
+	"fmt"
+	"math"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/randx"
+	"cuisinevol/internal/recipe"
+)
+
+// Kind selects the model variant.
+type Kind int
+
+const (
+	// CMRandom is the vanilla copy-mutate model: the replacement
+	// ingredient is drawn uniformly from the ingredient pool.
+	CMRandom Kind = iota
+	// CMCategory restricts the replacement to the same category as the
+	// ingredient being replaced.
+	CMCategory
+	// CMMixture draws the replacement from the same category half the
+	// time (MixtureRatio) and from the whole pool otherwise.
+	CMMixture
+	// NullModel performs no copy-mutation: each new recipe is an
+	// independent uniform sample of s̄ ingredients.
+	NullModel
+)
+
+var kindNames = map[Kind]string{
+	CMRandom:   "CM-R",
+	CMCategory: "CM-C",
+	CMMixture:  "CM-M",
+	NullModel:  "NM",
+}
+
+// String returns the paper's abbreviation for the model kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns all four model kinds in paper order.
+func Kinds() []Kind { return []Kind{CMRandom, CMCategory, CMMixture, NullModel} }
+
+// DefaultMutations returns the paper's calibrated mutation count for the
+// kind: M=4 for CM-R, M=6 for CM-C and CM-M (§VI); 0 for the null model.
+func DefaultMutations(k Kind) int {
+	switch k {
+	case CMRandom, KinouchiOriginal:
+		return 4
+	case CMCategory, CMMixture:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// Params fully specifies one model run.
+type Params struct {
+	Kind Kind
+	// Ingredients is the cuisine's ingredient list I.
+	Ingredients []ingredient.ID
+	// MeanRecipeSize is s̄, the cuisine's average recipe size (rounded).
+	MeanRecipeSize int
+	// TargetRecipes is N, the cuisine's empirical recipe count; the run
+	// stops when the recipe pool reaches it.
+	TargetRecipes int
+	// InitialPool is m, the initial ingredient-pool size (paper: 20).
+	InitialPool int
+	// InitialRecipes is n, the initial recipe-pool size; 0 means the
+	// paper's n = m/φ.
+	InitialRecipes int
+	// Mutations is M, the number of mutation attempts per copied recipe;
+	// 0 selects DefaultMutations(Kind).
+	Mutations int
+	// Phi is φ, the ratio of unique ingredients to recipes in the
+	// empirical cuisine; governs ingredient-pool growth.
+	Phi float64
+	// Seed drives all randomness of the run.
+	Seed uint64
+
+	// MixtureRatio is CM-M's probability of a same-category draw
+	// (default 0.5, exactly the paper's "half the time").
+	MixtureRatio float64
+	// FixedIterations selects the printed-algorithm variant that loops
+	// exactly N − n times (spending some iterations on pool growth and
+	// ending with fewer than N recipes) instead of running until the
+	// recipe pool reaches N.
+	FixedIterations bool
+	// NullFromFullLexicon makes the null model sample recipes from the
+	// full ingredient list I rather than the growing pool I₀ (the
+	// paper's wording supports both readings; see DESIGN.md §5).
+	NullFromFullLexicon bool
+	// AllowDuplicateReplace permits a mutation to insert an ingredient
+	// already present in the recipe (the duplicate is dropped, shrinking
+	// the recipe). Default false: such mutations are skipped.
+	AllowDuplicateReplace bool
+	// InsertProb and DeleteProb enable the variable-recipe-size
+	// extension (paper §VII): after the M replacement attempts, one
+	// size-mutation roll inserts a fitness-superior ingredient with
+	// probability InsertProb or deletes a low-fitness ingredient with
+	// probability DeleteProb. Sizes stay within [2, 38]. Both default
+	// to 0 (the paper's fixed-size dynamics).
+	InsertProb, DeleteProb float64
+}
+
+// ParamsForView derives the paper's per-cuisine parameters from an
+// empirical corpus view: I = the cuisine's used ingredients, s̄ = its mean
+// recipe size, N = its recipe count, φ = unique ingredients / recipes,
+// m = 20, M = DefaultMutations(kind).
+func ParamsForView(view recipe.View, kind Kind, seed uint64) Params {
+	unique := view.UsedIngredientIDs()
+	n := view.Len()
+	phi := 0.0
+	if n > 0 {
+		phi = float64(len(unique)) / float64(n)
+	}
+	return Params{
+		Kind:           kind,
+		Ingredients:    unique,
+		MeanRecipeSize: int(math.Round(view.MeanSize())),
+		TargetRecipes:  n,
+		InitialPool:    20,
+		Phi:            phi,
+		Seed:           seed,
+		MixtureRatio:   0.5,
+	}
+}
+
+// validate normalizes defaults and rejects unusable parameters.
+func (p *Params) validate() error {
+	if len(p.Ingredients) == 0 {
+		return fmt.Errorf("evomodel: empty ingredient list")
+	}
+	seen := make(map[ingredient.ID]struct{}, len(p.Ingredients))
+	for _, id := range p.Ingredients {
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("evomodel: duplicate ingredient %d in I", id)
+		}
+		seen[id] = struct{}{}
+	}
+	if p.MeanRecipeSize < 1 {
+		return fmt.Errorf("evomodel: MeanRecipeSize must be >= 1, got %d", p.MeanRecipeSize)
+	}
+	if p.TargetRecipes < 1 {
+		return fmt.Errorf("evomodel: TargetRecipes must be >= 1, got %d", p.TargetRecipes)
+	}
+	if p.Phi <= 0 {
+		return fmt.Errorf("evomodel: Phi must be positive, got %v", p.Phi)
+	}
+	if p.InitialPool < 1 {
+		return fmt.Errorf("evomodel: InitialPool must be >= 1, got %d", p.InitialPool)
+	}
+	if p.InitialPool > len(p.Ingredients) {
+		p.InitialPool = len(p.Ingredients)
+	}
+	if p.Mutations == 0 {
+		p.Mutations = DefaultMutations(p.Kind)
+	}
+	if p.Mutations < 0 {
+		return fmt.Errorf("evomodel: Mutations must be non-negative, got %d", p.Mutations)
+	}
+	if p.MixtureRatio == 0 {
+		p.MixtureRatio = 0.5
+	}
+	if p.MixtureRatio < 0 || p.MixtureRatio > 1 {
+		return fmt.Errorf("evomodel: MixtureRatio must be in [0,1], got %v", p.MixtureRatio)
+	}
+	if p.InsertProb < 0 || p.DeleteProb < 0 || p.InsertProb+p.DeleteProb > 1 {
+		return fmt.Errorf("evomodel: InsertProb/DeleteProb must be non-negative with sum <= 1, got %v + %v",
+			p.InsertProb, p.DeleteProb)
+	}
+	if p.InitialRecipes == 0 {
+		p.InitialRecipes = int(math.Round(float64(p.InitialPool) / p.Phi))
+	}
+	if p.InitialRecipes < 1 {
+		p.InitialRecipes = 1
+	}
+	if p.InitialRecipes > p.TargetRecipes {
+		p.InitialRecipes = p.TargetRecipes
+	}
+	return nil
+}
+
+// Run executes Algorithm 1 with the given parameters and returns the
+// evolved recipe pool as transactions: each recipe a strictly ascending
+// []ingredient.ID, ready for frequent-itemset mining.
+func Run(params Params, lex *ingredient.Lexicon) ([][]ingredient.ID, error) {
+	p := params
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	src := randx.New(p.Seed)
+	m := newMachine(p, lex, src)
+	m.evolve()
+	return m.transactions(), nil
+}
+
+// machine is the mutable state of one run.
+type machine struct {
+	p   Params
+	lex *ingredient.Lexicon
+	src *randx.Source
+
+	fitness map[ingredient.ID]float64
+	reserve []ingredient.ID // I minus the pool, shrinking
+	pool    []ingredient.ID // I₀, growing
+	inPool  map[ingredient.ID]bool
+	// poolByCategory supports CM-C/CM-M draws; grown alongside pool.
+	poolByCategory [ingredient.NumCategories][]ingredient.ID
+
+	recipes [][]ingredient.ID // the recipe pool R₀ (unsorted item order)
+	// usage tracks per-ingredient recipe counts for the preferential-
+	// attachment alternative model; nil for other kinds.
+	usage map[ingredient.ID]int
+	// lineage, when non-nil, records each recipe's mother index
+	// (RunWithLineage); lastMother carries the pending mother between
+	// copyMutate and addRecipe.
+	lineage    *Lineage
+	lastMother int32
+}
+
+func newMachine(p Params, lex *ingredient.Lexicon, src *randx.Source) *machine {
+	m := &machine{
+		p:       p,
+		lex:     lex,
+		src:     src,
+		fitness: make(map[ingredient.ID]float64, len(p.Ingredients)),
+		inPool:  make(map[ingredient.ID]bool, len(p.Ingredients)),
+	}
+	// Step 1: fitness ~ Uniform(0,1) for every ingredient in I.
+	for _, id := range p.Ingredients {
+		m.fitness[id] = src.Float64()
+	}
+	// Step 2: I₀ = m random ingredients from I; I ← I − I₀.
+	all := append([]ingredient.ID(nil), p.Ingredients...)
+	src.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	for _, id := range all[:p.InitialPool] {
+		m.addToPool(id)
+	}
+	m.reserve = all[p.InitialPool:]
+	if p.Kind == PreferentialAttachment {
+		m.usage = make(map[ingredient.ID]int, len(p.Ingredients))
+	}
+	// Initial recipe pool R₀: n recipes of s̄ ingredients from I₀.
+	for i := 0; i < p.InitialRecipes; i++ {
+		m.addRecipe(m.sampleRecipe(m.pool))
+	}
+	return m
+}
+
+// addRecipe appends a recipe to the pool, maintaining the usage index
+// when the preferential-attachment model needs it and the genealogy when
+// lineage tracking is on.
+func (m *machine) addRecipe(r []ingredient.ID) {
+	m.recipes = append(m.recipes, r)
+	if m.usage != nil {
+		for _, id := range r {
+			m.usage[id]++
+		}
+	}
+	if m.lineage != nil {
+		m.lineage.Mothers = append(m.lineage.Mothers, m.lastMother)
+		m.lastMother = -1
+	}
+}
+
+func (m *machine) addToPool(id ingredient.ID) {
+	m.pool = append(m.pool, id)
+	m.inPool[id] = true
+	c := m.lex.CategoryOf(id)
+	m.poolByCategory[c] = append(m.poolByCategory[c], id)
+}
+
+// sampleRecipe draws min(s̄, |from|) distinct ingredients uniformly from
+// the given slice.
+func (m *machine) sampleRecipe(from []ingredient.ID) []ingredient.ID {
+	size := m.p.MeanRecipeSize
+	if size > len(from) {
+		size = len(from)
+	}
+	picks := m.src.SampleInts(len(from), size)
+	out := make([]ingredient.ID, size)
+	for i, p := range picks {
+		out[i] = from[p]
+	}
+	return out
+}
+
+// evolve runs the main loop of Algorithm 1.
+func (m *machine) evolve() {
+	if m.p.FixedIterations {
+		// Printed variant: exactly N − n iterations, each either a recipe
+		// step or a pool-growth step.
+		iters := m.p.TargetRecipes - m.p.InitialRecipes
+		for l := 0; l < iters; l++ {
+			m.step()
+		}
+		return
+	}
+	// Prose variant (default): evolve until the recipe pool reaches N.
+	for len(m.recipes) < m.p.TargetRecipes {
+		m.step()
+	}
+}
+
+// step performs one iteration: grow the ingredient pool if ∂ = m/n has
+// fallen below φ (and ingredients remain), otherwise add one recipe.
+func (m *machine) step() {
+	partial := float64(len(m.pool)) / float64(len(m.recipes))
+	if partial < m.p.Phi && len(m.reserve) > 0 {
+		// Pool growth: move a random ingredient from I to I₀.
+		i := m.src.Intn(len(m.reserve))
+		m.addToPool(m.reserve[i])
+		m.reserve[i] = m.reserve[len(m.reserve)-1]
+		m.reserve = m.reserve[:len(m.reserve)-1]
+		return
+	}
+	switch m.p.Kind {
+	case NullModel:
+		from := m.pool
+		if m.p.NullFromFullLexicon {
+			from = m.p.Ingredients
+		}
+		m.addRecipe(m.sampleRecipe(from))
+	case FitnessOnly, PreferentialAttachment:
+		m.addRecipe(m.generateAlternative(m.usage))
+	default:
+		m.addRecipe(m.copyMutate())
+	}
+}
+
+// copyMutate copies a random mother recipe and applies M fitness-biased
+// mutation attempts (Algorithm 1, steps 3-4). The ancestral Kinouchi
+// variant replaces the least-fit ingredient unconditionally instead.
+func (m *machine) copyMutate() []ingredient.ID {
+	motherIdx := m.src.Intn(len(m.recipes))
+	mother := m.recipes[motherIdx]
+	m.lastMother = int32(motherIdx)
+	r := append([]ingredient.ID(nil), mother...)
+	if m.p.Kind == KinouchiOriginal {
+		for g := 0; g < m.p.Mutations; g++ {
+			m.kinouchiMutate(r)
+		}
+		return r
+	}
+	for g := 0; g < m.p.Mutations; g++ {
+		slot := m.src.Intn(len(r))
+		old := r[slot]
+		repl, ok := m.drawReplacement(old)
+		if !ok {
+			continue
+		}
+		if m.fitness[repl] <= m.fitness[old] {
+			continue
+		}
+		if contains(r, repl) {
+			if !m.p.AllowDuplicateReplace {
+				continue
+			}
+			// Multiset semantics: the replacement collapses into the
+			// existing occurrence, shrinking the recipe (never below one
+			// ingredient).
+			if len(r) > 1 {
+				r[slot] = r[len(r)-1]
+				r = r[:len(r)-1]
+			}
+			continue
+		}
+		r[slot] = repl
+	}
+	if m.p.InsertProb > 0 || m.p.DeleteProb > 0 {
+		r = m.mutateSize(r)
+	}
+	return r
+}
+
+// drawReplacement selects the candidate ingredient j from the pool
+// according to the model variant, relative to the ingredient being
+// replaced.
+func (m *machine) drawReplacement(old ingredient.ID) (ingredient.ID, bool) {
+	sameCategory := false
+	switch m.p.Kind {
+	case CMCategory:
+		sameCategory = true
+	case CMMixture:
+		sameCategory = m.src.Float64() < m.p.MixtureRatio
+	}
+	if sameCategory {
+		bucket := m.poolByCategory[m.lex.CategoryOf(old)]
+		if len(bucket) == 0 {
+			return 0, false
+		}
+		return bucket[m.src.Intn(len(bucket))], true
+	}
+	return m.pool[m.src.Intn(len(m.pool))], true
+}
+
+func contains(xs []ingredient.ID, id ingredient.ID) bool {
+	for _, x := range xs {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// transactions returns the recipe pool with each recipe sorted ascending.
+func (m *machine) transactions() [][]ingredient.ID {
+	out := make([][]ingredient.ID, len(m.recipes))
+	for i, r := range m.recipes {
+		tx := append([]ingredient.ID(nil), r...)
+		sortIDs(tx)
+		out[i] = tx
+	}
+	return out
+}
+
+func sortIDs(xs []ingredient.ID) {
+	// insertion sort: recipes have at most a few dozen ingredients.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// PoolState reports the final pool sizes of a run; exposed for tests and
+// diagnostics via Inspect.
+type PoolState struct {
+	IngredientPool int
+	RecipePool     int
+	ReserveLeft    int
+}
+
+// Inspect runs the model and returns both the transactions and the final
+// pool state.
+func Inspect(params Params, lex *ingredient.Lexicon) ([][]ingredient.ID, PoolState, error) {
+	p := params
+	if err := p.validate(); err != nil {
+		return nil, PoolState{}, err
+	}
+	src := randx.New(p.Seed)
+	m := newMachine(p, lex, src)
+	m.evolve()
+	return m.transactions(), PoolState{
+		IngredientPool: len(m.pool),
+		RecipePool:     len(m.recipes),
+		ReserveLeft:    len(m.reserve),
+	}, nil
+}

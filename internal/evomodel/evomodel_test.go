@@ -1,0 +1,370 @@
+package evomodel
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+)
+
+var lex = ingredient.Builtin()
+
+// testParams returns small, fast parameters over a 120-ingredient slice
+// of the lexicon.
+func testParams(kind Kind, seed uint64) Params {
+	return Params{
+		Kind:           kind,
+		Ingredients:    lex.IDs()[:120],
+		MeanRecipeSize: 6,
+		TargetRecipes:  400,
+		InitialPool:    20,
+		Phi:            120.0 / 400,
+		Seed:           seed,
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		a, err := Run(testParams(kind, 5), lex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(testParams(kind, 5), lex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: runs with equal seeds differ", kind)
+		}
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	a, _ := Run(testParams(CMRandom, 1), lex)
+	b, _ := Run(testParams(CMRandom, 2), lex)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds gave identical output")
+	}
+}
+
+func TestRunReachesTarget(t *testing.T) {
+	for _, kind := range Kinds() {
+		txs, err := Run(testParams(kind, 3), lex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(txs) != 400 {
+			t.Fatalf("%v produced %d recipes, want 400", kind, len(txs))
+		}
+	}
+}
+
+func TestFixedIterationsUndershoots(t *testing.T) {
+	p := testParams(CMRandom, 7)
+	p.FixedIterations = true
+	txs, state, err := Inspect(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterations spent on pool growth do not add recipes, so the pool
+	// ends below N but above the initial n.
+	if len(txs) >= 400 || len(txs) <= state.IngredientPool {
+		t.Fatalf("fixed-iteration run produced %d recipes", len(txs))
+	}
+}
+
+func TestTransactionsStrictlyAscending(t *testing.T) {
+	for _, kind := range Kinds() {
+		txs, err := Run(testParams(kind, 11), lex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tx := range txs {
+			if len(tx) == 0 {
+				t.Fatalf("%v produced an empty recipe", kind)
+			}
+			for i := 1; i < len(tx); i++ {
+				if tx[i-1] >= tx[i] {
+					t.Fatalf("%v produced unsorted/duplicated recipe %v", kind, tx)
+				}
+			}
+		}
+	}
+}
+
+func TestIngredientsStayWithinI(t *testing.T) {
+	p := testParams(CMRandom, 13)
+	allowed := make(map[ingredient.ID]bool, len(p.Ingredients))
+	for _, id := range p.Ingredients {
+		allowed[id] = true
+	}
+	txs, err := Run(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range txs {
+		for _, id := range tx {
+			if !allowed[id] {
+				t.Fatalf("recipe uses ingredient %d outside I", id)
+			}
+		}
+	}
+}
+
+func TestPoolTracksPhi(t *testing.T) {
+	p := testParams(CMRandom, 17)
+	_, state, err := Inspect(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ∂ = m/n should end within one growth step of φ.
+	partial := float64(state.IngredientPool) / float64(state.RecipePool)
+	if math.Abs(partial-p.Phi) > 2.0/float64(state.RecipePool)+0.05 {
+		t.Fatalf("final m/n = %v, want ~φ = %v", partial, p.Phi)
+	}
+	if state.IngredientPool+state.ReserveLeft != len(p.Ingredients) {
+		t.Fatalf("pool %d + reserve %d != |I| %d", state.IngredientPool, state.ReserveLeft, len(p.Ingredients))
+	}
+}
+
+func TestRecipeSizesConstantWithoutDuplicates(t *testing.T) {
+	// With AllowDuplicateReplace=false, every recipe keeps exactly s̄
+	// ingredients (mutations replace one-for-one).
+	txs, err := Run(testParams(CMRandom, 19), lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range txs {
+		if len(tx) != 6 {
+			t.Fatalf("recipe size %d, want 6", len(tx))
+		}
+	}
+}
+
+func TestAllowDuplicateReplaceShrinks(t *testing.T) {
+	p := testParams(CMRandom, 23)
+	p.AllowDuplicateReplace = true
+	p.Mutations = 12 // aggressive mutation to force collisions
+	txs, err := Run(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk := false
+	for _, tx := range txs {
+		if len(tx) == 0 {
+			t.Fatal("recipe shrank to empty")
+		}
+		if len(tx) < 6 {
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		t.Fatal("expected at least one recipe to shrink under multiset semantics")
+	}
+}
+
+// TestCMCategoryPreservesComposition verifies the defining invariant of
+// CM-C: same-category replacement never changes a recipe's category
+// count vector, so every evolved recipe's vector must match some initial
+// recipe's vector.
+func TestCMCategoryPreservesComposition(t *testing.T) {
+	p := testParams(CMCategory, 29)
+	txs, err := Run(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial recipes are the first n₀ outputs.
+	n0 := int(math.Round(float64(p.InitialPool) / p.Phi))
+	vec := func(tx []ingredient.ID) [ingredient.NumCategories]int {
+		var v [ingredient.NumCategories]int
+		for _, id := range tx {
+			v[lex.CategoryOf(id)]++
+		}
+		return v
+	}
+	initial := make(map[[ingredient.NumCategories]int]bool, n0)
+	for _, tx := range txs[:n0] {
+		initial[vec(tx)] = true
+	}
+	for i, tx := range txs[n0:] {
+		if !initial[vec(tx)] {
+			t.Fatalf("recipe %d has category vector not derivable under CM-C", n0+i)
+		}
+	}
+}
+
+// TestCopyMutateConcentratesUsage checks the qualitative difference that
+// drives Fig 4: fitness-biased copy-mutation concentrates ingredient
+// usage far beyond the null model's uniform sampling.
+func TestCopyMutateConcentratesUsage(t *testing.T) {
+	topShare := func(kind Kind, seed uint64) float64 {
+		txs, err := Run(testParams(kind, seed), lex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[ingredient.ID]int{}
+		for _, tx := range txs {
+			for _, id := range tx {
+				counts[id]++
+			}
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(len(txs))
+	}
+	for seed := uint64(100); seed < 103; seed++ {
+		cm := topShare(CMRandom, seed)
+		nm := topShare(NullModel, seed)
+		if cm <= nm {
+			t.Fatalf("seed %d: CM-R top share %v not above NM %v", seed, cm, nm)
+		}
+	}
+}
+
+func TestNullModelUniformity(t *testing.T) {
+	// NM with NullFromFullLexicon samples every recipe uniformly from I,
+	// so all 120 ingredients should appear with similar frequencies.
+	p := testParams(NullModel, 31)
+	p.NullFromFullLexicon = true
+	p.TargetRecipes = 4000
+	txs, err := Run(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[ingredient.ID]int)
+	for _, tx := range txs {
+		for _, id := range tx {
+			counts[id]++
+		}
+	}
+	// Initial pool recipes bias the first few; tolerance is generous.
+	want := float64(4000*6) / 120
+	for _, id := range p.Ingredients {
+		if c := float64(counts[id]); c < want*0.5 || c > want*2 {
+			t.Fatalf("NM full-lexicon usage of %d is %v, want ~%v", id, c, want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Ingredients = nil },
+		func(p *Params) { p.Ingredients = []ingredient.ID{1, 1} },
+		func(p *Params) { p.MeanRecipeSize = 0 },
+		func(p *Params) { p.TargetRecipes = 0 },
+		func(p *Params) { p.Phi = 0 },
+		func(p *Params) { p.Phi = -1 },
+		func(p *Params) { p.InitialPool = -1 },
+		func(p *Params) { p.Mutations = -2 },
+		func(p *Params) { p.MixtureRatio = 1.5 },
+	}
+	for i, mutate := range bad {
+		p := testParams(CMRandom, 1)
+		mutate(&p)
+		if _, err := Run(p, lex); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestValidateClampsPoolAndRecipes(t *testing.T) {
+	p := testParams(CMRandom, 1)
+	p.Ingredients = lex.IDs()[:10]
+	p.InitialPool = 50 // > |I|: clamped
+	p.Phi = 10.0 / 40
+	p.TargetRecipes = 40
+	txs, err := Run(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 40 {
+		t.Fatalf("got %d recipes", len(txs))
+	}
+}
+
+func TestDefaultMutations(t *testing.T) {
+	if DefaultMutations(CMRandom) != 4 {
+		t.Fatal("paper: M=4 for CM-R")
+	}
+	if DefaultMutations(CMCategory) != 6 || DefaultMutations(CMMixture) != 6 {
+		t.Fatal("paper: M=6 for CM-C and CM-M")
+	}
+	if DefaultMutations(NullModel) != 0 {
+		t.Fatal("NM has no mutations")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{CMRandom: "CM-R", CMCategory: "CM-C", CMMixture: "CM-M", NullModel: "NM"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind %d String = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestParamsForView(t *testing.T) {
+	c := recipe.NewCorpus(lex)
+	ids := lex.IDs()
+	for i := 0; i < 10; i++ {
+		r := recipe.Recipe{Region: "X", Ingredients: []ingredient.ID{ids[i], ids[i+1], ids[i+2]}}
+		if err := c.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := ParamsForView(c.Region("X"), CMCategory, 9)
+	if p.Kind != CMCategory || p.Seed != 9 {
+		t.Fatal("kind/seed not propagated")
+	}
+	if p.TargetRecipes != 10 {
+		t.Fatalf("N = %d", p.TargetRecipes)
+	}
+	if p.MeanRecipeSize != 3 {
+		t.Fatalf("s̄ = %d", p.MeanRecipeSize)
+	}
+	if len(p.Ingredients) != 12 {
+		t.Fatalf("|I| = %d, want 12", len(p.Ingredients))
+	}
+	if math.Abs(p.Phi-1.2) > 1e-12 {
+		t.Fatalf("φ = %v, want 1.2", p.Phi)
+	}
+	if p.InitialPool != 20 || p.MixtureRatio != 0.5 {
+		t.Fatal("defaults not set")
+	}
+}
+
+func TestMixtureRatioExtremes(t *testing.T) {
+	// MixtureRatio 1 behaves like CM-C: category vectors preserved.
+	p := testParams(CMMixture, 37)
+	p.MixtureRatio = 1
+	txs, err := Run(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := int(math.Round(float64(p.InitialPool) / p.Phi))
+	vec := func(tx []ingredient.ID) [ingredient.NumCategories]int {
+		var v [ingredient.NumCategories]int
+		for _, id := range tx {
+			v[lex.CategoryOf(id)]++
+		}
+		return v
+	}
+	initial := make(map[[ingredient.NumCategories]int]bool, n0)
+	for _, tx := range txs[:n0] {
+		initial[vec(tx)] = true
+	}
+	for _, tx := range txs[n0:] {
+		if !initial[vec(tx)] {
+			t.Fatal("MixtureRatio=1 must behave like CM-C")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package evomodel
+
+// Extensions beyond the paper's four models, implementing the future
+// directions its §VII names explicitly:
+//
+//   - variable recipe sizes ("Future studies should explore the effect
+//     of variable recipe sizes"): insert/delete mutations that let
+//     recipe sizes drift, bounded by the empirical [2, 38] range;
+//   - alternative hypotheses ("develop alternative hypotheses beyond
+//     simple copy-mutation"): a fitness-only model and a preferential-
+//     attachment model, both generating recipes without copying;
+//   - horizontal transmission ("the propagation of culinary habits
+//     would have been both vertical (time) as well as horizontal
+//     (regions)"): see horizontal.go.
+
+import (
+	"cuisinevol/internal/cuisine"
+	"cuisinevol/internal/ingredient"
+)
+
+// Extended model kinds. They reuse the same machinery as the paper's
+// four models and are accepted everywhere a Kind is.
+const (
+	// FitnessOnly generates each recipe independently by sampling
+	// ingredients from the pool with probability proportional to their
+	// fitness — selection without inheritance.
+	FitnessOnly Kind = iota + 100
+	// PreferentialAttachment generates each recipe independently by
+	// sampling ingredients proportionally to (1 + times used so far) —
+	// rich-get-richer without explicit recipe copying.
+	PreferentialAttachment
+	// KinouchiOriginal is the ancestral copy-mutate model of Kinouchi et
+	// al. (New J. Phys. 2008) from which the paper's variants derive: at
+	// each mutation the recipe's *least fit* ingredient is replaced by a
+	// uniformly drawn pool ingredient, unconditionally (no fitness gate
+	// on the incomer). Implemented as the historical baseline.
+	KinouchiOriginal
+)
+
+// ExtendedKinds returns the alternative-hypothesis model kinds of §VII
+// plus the ancestral Kinouchi baseline.
+func ExtendedKinds() []Kind {
+	return []Kind{FitnessOnly, PreferentialAttachment, KinouchiOriginal}
+}
+
+func init() {
+	kindNames[FitnessOnly] = "FIT"
+	kindNames[PreferentialAttachment] = "PA"
+	kindNames[KinouchiOriginal] = "KIN"
+}
+
+// kinouchiMutate replaces the least-fit ingredient of r with a uniform
+// pool draw (skipping duplicates), the original model's mutation rule.
+func (m *machine) kinouchiMutate(r []ingredient.ID) {
+	worst := 0
+	for i := 1; i < len(r); i++ {
+		if m.fitness[r[i]] < m.fitness[r[worst]] {
+			worst = i
+		}
+	}
+	repl := m.pool[m.src.Intn(len(m.pool))]
+	if contains(r, repl) {
+		return
+	}
+	r[worst] = repl
+}
+
+// sampleRecipeWeighted draws min(s̄, |from|) distinct ingredients from
+// the given slice with probability proportional to weight(id).
+func (m *machine) sampleRecipeWeighted(from []ingredient.ID, weight func(ingredient.ID) float64) []ingredient.ID {
+	size := m.p.MeanRecipeSize
+	if size > len(from) {
+		size = len(from)
+	}
+	out := make([]ingredient.ID, 0, size)
+	taken := make(map[int]bool, size)
+	for len(out) < size {
+		total := 0.0
+		for i, id := range from {
+			if !taken[i] {
+				total += weight(id)
+			}
+		}
+		if total <= 0 {
+			// All remaining weights zero: fall back to uniform.
+			for i, id := range from {
+				if !taken[i] {
+					taken[i] = true
+					out = append(out, id)
+					break
+				}
+			}
+			continue
+		}
+		target := m.src.Float64() * total
+		for i, id := range from {
+			if taken[i] {
+				continue
+			}
+			target -= weight(id)
+			if target <= 0 {
+				taken[i] = true
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// generateAlternative produces one recipe under the alternative
+// hypotheses. usage is the running per-ingredient recipe count.
+func (m *machine) generateAlternative(usage map[ingredient.ID]int) []ingredient.ID {
+	switch m.p.Kind {
+	case FitnessOnly:
+		return m.sampleRecipeWeighted(m.pool, func(id ingredient.ID) float64 {
+			return m.fitness[id]
+		})
+	case PreferentialAttachment:
+		return m.sampleRecipeWeighted(m.pool, func(id ingredient.ID) float64 {
+			return float64(1 + usage[id])
+		})
+	default:
+		panic("evomodel: generateAlternative called for non-alternative kind")
+	}
+}
+
+// mutateSize applies one insert-or-delete size mutation to the recipe
+// when the variable-size extension is enabled, returning the (possibly
+// reallocated) recipe. Insertions are fitness-biased like replacements:
+// the candidate joins only if its fitness exceeds that of a random
+// incumbent. Sizes stay within the empirical [MinRecipeSize,
+// MaxRecipeSize] bounds of Fig 1.
+func (m *machine) mutateSize(r []ingredient.ID) []ingredient.ID {
+	roll := m.src.Float64()
+	switch {
+	case roll < m.p.InsertProb && len(r) < cuisine.MaxRecipeSize:
+		j := m.pool[m.src.Intn(len(m.pool))]
+		if contains(r, j) {
+			return r
+		}
+		incumbent := r[m.src.Intn(len(r))]
+		if m.fitness[j] > m.fitness[incumbent] {
+			r = append(r, j)
+		}
+	case roll < m.p.InsertProb+m.p.DeleteProb && len(r) > cuisine.MinRecipeSize:
+		// Deletion pressure removes the least fit of two random picks,
+		// mirroring the replacement rule's selection strength.
+		a, b := m.src.Intn(len(r)), m.src.Intn(len(r))
+		victim := a
+		if m.fitness[r[b]] < m.fitness[r[a]] {
+			victim = b
+		}
+		r[victim] = r[len(r)-1]
+		r = r[:len(r)-1]
+	}
+	return r
+}

@@ -1,0 +1,150 @@
+package evomodel
+
+import (
+	"fmt"
+	"sort"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/randx"
+)
+
+// HorizontalConfig couples several per-region copy-mutate processes with
+// recipe migration — the horizontal (between-regions) propagation the
+// paper's §VII identifies as missing from pure vertical (in-time)
+// models. Regions evolve in an interleaved schedule proportional to
+// their target sizes; at each copy step, with probability Migration the
+// mother recipe is drawn from a randomly chosen *other* region's pool
+// instead of the local one.
+//
+// Ingredient fitness is shared globally (an ingredient's cost,
+// availability and nutrition do not depend on who cooks it), while each
+// region keeps its own ingredient pool I₀ for replacement draws, so
+// migrated recipes gradually re-localize under mutation.
+type HorizontalConfig struct {
+	// Regions holds one parameter set per region. Params.Kind must be a
+	// copy-mutate variant (migration is meaningless for NM and the
+	// alternative models). Labels index the result.
+	Regions map[string]Params
+	// Migration is the per-copy probability of a cross-region mother
+	// recipe, in [0, 1]. 0 reduces exactly to independent runs.
+	Migration float64
+	// Seed drives the interleaving and all per-region randomness.
+	Seed uint64
+}
+
+// RunHorizontal evolves all regions under the coupled dynamics and
+// returns each region's recipes as sorted transactions.
+func RunHorizontal(cfg HorizontalConfig, lex *ingredient.Lexicon) (map[string][][]ingredient.ID, error) {
+	if len(cfg.Regions) == 0 {
+		return nil, fmt.Errorf("evomodel: horizontal run needs at least one region")
+	}
+	if cfg.Migration < 0 || cfg.Migration > 1 {
+		return nil, fmt.Errorf("evomodel: Migration must be in [0,1], got %v", cfg.Migration)
+	}
+	// Deterministic region order.
+	labels := make([]string, 0, len(cfg.Regions))
+	for label := range cfg.Regions {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+
+	// Shared fitness across regions: one assignment over the union of
+	// all ingredient lists. Every machine aliases this single map, so a
+	// migrated recipe's foreign ingredients still have defined fitness
+	// and selection applies uniformly everywhere.
+	root := randx.New(cfg.Seed)
+	sharedFitness := make(map[ingredient.ID]float64)
+	for _, label := range labels {
+		for _, id := range cfg.Regions[label].Ingredients {
+			if _, ok := sharedFitness[id]; !ok {
+				sharedFitness[id] = root.Float64()
+			}
+		}
+	}
+	machines := make([]*machine, 0, len(labels))
+	for _, label := range labels {
+		p := cfg.Regions[label]
+		switch p.Kind {
+		case CMRandom, CMCategory, CMMixture:
+		default:
+			return nil, fmt.Errorf("evomodel: region %s: horizontal transmission requires a copy-mutate kind, got %v", label, p.Kind)
+		}
+		if err := p.validate(); err != nil {
+			return nil, fmt.Errorf("evomodel: region %s: %w", label, err)
+		}
+		src := root.Split()
+		m := newMachine(p, lex, src)
+		m.fitness = sharedFitness
+		machines = append(machines, m)
+	}
+
+	// Interleave: repeatedly pick the region with the largest remaining
+	// fraction of work (deterministic; keeps pools co-evolving rather
+	// than sequential).
+	remaining := func(m *machine) float64 {
+		return 1 - float64(len(m.recipes))/float64(m.p.TargetRecipes)
+	}
+	for {
+		var next *machine
+		for _, m := range machines {
+			if len(m.recipes) >= m.p.TargetRecipes {
+				continue
+			}
+			if next == nil || remaining(m) > remaining(next) {
+				next = m
+			}
+		}
+		if next == nil {
+			break
+		}
+		stepHorizontal(next, machines, cfg.Migration, root)
+	}
+
+	out := make(map[string][][]ingredient.ID, len(labels))
+	for i, label := range labels {
+		out[label] = machines[i].transactions()
+	}
+	return out, nil
+}
+
+// stepHorizontal performs one iteration for machine m, possibly copying
+// a mother recipe from another region.
+func stepHorizontal(m *machine, all []*machine, migration float64, root *randx.Source) {
+	partial := float64(len(m.pool)) / float64(len(m.recipes))
+	if partial < m.p.Phi && len(m.reserve) > 0 {
+		i := m.src.Intn(len(m.reserve))
+		m.addToPool(m.reserve[i])
+		m.reserve[i] = m.reserve[len(m.reserve)-1]
+		m.reserve = m.reserve[:len(m.reserve)-1]
+		return
+	}
+	mother := m.recipes[m.src.Intn(len(m.recipes))]
+	if len(all) > 1 && m.src.Float64() < migration {
+		// Draw the mother from a uniformly random other region.
+		other := m
+		for other == m {
+			other = all[root.Intn(len(all))]
+		}
+		mother = other.recipes[m.src.Intn(len(other.recipes))]
+	}
+	r := append([]ingredient.ID(nil), mother...)
+	for g := 0; g < m.p.Mutations; g++ {
+		slot := m.src.Intn(len(r))
+		old := r[slot]
+		repl, ok := m.drawReplacement(old)
+		if !ok {
+			continue
+		}
+		// Migrated recipes may carry ingredients foreign to this region;
+		// their fitness is the shared global value, so selection still
+		// applies uniformly.
+		if m.fitness[repl] <= m.fitness[old] {
+			continue
+		}
+		if contains(r, repl) {
+			continue
+		}
+		r[slot] = repl
+	}
+	m.addRecipe(r)
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"cuisinevol/internal/cluster"
+	"cuisinevol/internal/cuisine"
+)
+
+// DiversityResult quantifies §III's culinary diversity structurally: the
+// 25 cuisines clustered by their ingredient-usage profiles (cosine
+// distance, average linkage).
+type DiversityResult struct {
+	Dendrogram *cluster.Dendrogram
+	// Clusters is the Cut(k) partition used for the summary.
+	Clusters [][]string
+	K        int
+}
+
+// RunDiversity clusters the cuisines by usage profile; k selects the
+// flat partition reported (default 5).
+func RunDiversity(cfg *Config, k int) (*DiversityResult, error) {
+	if k == 0 {
+		k = 5
+	}
+	corpus, err := cfg.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	labels := cuisine.Codes()
+	vectors := make([][]float64, len(labels))
+	for i, code := range labels {
+		view := corpus.Region(code)
+		if view.Len() == 0 {
+			return nil, fmt.Errorf("experiment: region %s missing from corpus", code)
+		}
+		counts := view.IngredientRecipeCounts()
+		vec := make([]float64, len(counts))
+		for id, c := range counts {
+			vec[id] = float64(c) / float64(view.Len())
+		}
+		vectors[i] = vec
+	}
+	den, err := cluster.Agglomerate(labels, cluster.CosineDistance(vectors), cluster.Average)
+	if err != nil {
+		return nil, err
+	}
+	res := &DiversityResult{Dendrogram: den, Clusters: den.Cut(k), K: k}
+	if err := cfg.writeArtifact("diversity_dendrogram.txt", func(f io.Writer) error {
+		_, err := io.WriteString(f, den.ASCII())
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Summary lists the flat clusters.
+func (r *DiversityResult) Summary() string {
+	out := fmt.Sprintf("Culinary diversity: %d usage-profile clusters:", r.K)
+	for _, c := range r.Clusters {
+		out += " ["
+		for i, code := range c {
+			if i > 0 {
+				out += " "
+			}
+			out += code
+		}
+		out += "]"
+	}
+	return out
+}

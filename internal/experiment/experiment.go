@@ -1,0 +1,110 @@
+// Package experiment is the reproduction harness: one runner per table or
+// figure of the paper's evaluation, each consuming the synthetic corpus
+// and emitting the same rows/series the paper reports, optionally as
+// text/CSV/SVG artifacts on disk.
+//
+// Experiment index (see DESIGN.md §4):
+//
+//	table1  — Table I: recipes, unique ingredients, top-5 overrepresented
+//	fig1    — recipe size distributions per cuisine + aggregate
+//	fig2    — category usage boxplots
+//	fig3    — rank-frequency of ingredient (3a) and category (3b)
+//	          combinations + pairwise MAE matrices
+//	fig4    — evolution-model comparison per cuisine (and the §VI
+//	          category-combination control)
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cuisinevol/internal/recipe"
+	"cuisinevol/internal/synth"
+)
+
+// Config carries the shared knobs of all experiments.
+type Config struct {
+	// Seed drives corpus generation and the evolution models.
+	Seed uint64
+	// RecipeScale scales the corpus (1.0 = the paper's 158k recipes).
+	RecipeScale float64
+	// MinSupport is the frequent-combination threshold (paper: 0.05).
+	MinSupport float64
+	// Replicates is the evolution-model ensemble size (paper: 100).
+	Replicates int
+	// Workers bounds model parallelism (0 = GOMAXPROCS).
+	Workers int
+	// OutDir, when non-empty, receives artifacts (tables, CSV, SVG).
+	OutDir string
+
+	// corpus is generated lazily and shared across experiments.
+	corpus *recipe.Corpus
+}
+
+// DefaultConfig returns the paper's parameters at full scale.
+func DefaultConfig(seed uint64) *Config {
+	return &Config{
+		Seed:        seed,
+		RecipeScale: 1.0,
+		MinSupport:  0.05,
+		Replicates:  100,
+	}
+}
+
+// Corpus returns the shared synthetic corpus, generating it on first use.
+func (c *Config) Corpus() (*recipe.Corpus, error) {
+	if c.corpus != nil {
+		return c.corpus, nil
+	}
+	scale := c.RecipeScale
+	if scale == 0 {
+		scale = 1.0
+	}
+	gen := synth.DefaultConfig(c.Seed)
+	gen.RecipeScale = scale
+	corpus, err := synth.Generate(gen)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generating corpus: %w", err)
+	}
+	c.corpus = corpus
+	return corpus, nil
+}
+
+// SetCorpus installs a pre-built corpus (e.g. loaded from disk),
+// bypassing synthetic generation.
+func (c *Config) SetCorpus(corpus *recipe.Corpus) { c.corpus = corpus }
+
+// artifact opens an artifact file under OutDir; the caller must close it.
+// It returns (nil, nil) when OutDir is empty (artifacts disabled).
+func (c *Config) artifact(name string) (*os.File, error) {
+	if c.OutDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: creating %s: %w", c.OutDir, err)
+	}
+	f, err := os.Create(filepath.Join(c.OutDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: creating artifact %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// writeArtifact writes an artifact through the given render function when
+// OutDir is set; it is a no-op otherwise.
+func (c *Config) writeArtifact(name string, render func(io.Writer) error) error {
+	f, err := c.artifact(name)
+	if err != nil {
+		return err
+	}
+	if f == nil {
+		return nil
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		return fmt.Errorf("experiment: writing %s: %w", name, err)
+	}
+	return f.Close()
+}

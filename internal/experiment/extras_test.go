@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPairing(t *testing.T) {
+	cfg := testConfig(t, true)
+	res, err := RunPairing(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 25 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.RealMean <= 0 || row.RandMean <= 0 {
+			t.Fatalf("degenerate pairing row: %+v", row)
+		}
+	}
+	if res.PositiveCount+res.NegativeCount == 0 {
+		t.Fatal("no significant pairing verdicts at all")
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "pairing.csv")); err != nil {
+		t.Fatal("pairing.csv missing")
+	}
+	if s := res.Summary(); !strings.Contains(s, "Food pairing") {
+		t.Fatalf("summary: %s", s)
+	}
+}
+
+func TestRunVocabGrowth(t *testing.T) {
+	// The empirical-vs-model exponent ordering needs enough recipes for
+	// the empirical curve to saturate against its vocabulary; use large
+	// cuisines at 20% scale (tiny corpora invert the relationship).
+	cfg := testConfig(t, true)
+	cfg.RecipeScale = 0.2
+	res, err := RunVocabGrowth(cfg, []string{"ITA", "MEX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.EmpiricalBeta <= 0 || row.EmpiricalBeta >= 1.1 {
+			t.Fatalf("%s empirical beta = %v", row.Region, row.EmpiricalBeta)
+		}
+		if row.ModelBeta <= 0 || row.ModelBeta >= 1.1 {
+			t.Fatalf("%s model beta = %v", row.Region, row.ModelBeta)
+		}
+		// The empirical curve saturates against its fixed vocabulary;
+		// the model's pool growth tracks phi*n much more linearly.
+		if row.EmpiricalBeta >= row.ModelBeta {
+			t.Fatalf("%s: empirical beta %v not below model beta %v",
+				row.Region, row.EmpiricalBeta, row.ModelBeta)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "vocab_growth.csv")); err != nil {
+		t.Fatal("vocab_growth.csv missing")
+	}
+}
+
+func TestRunVocabGrowthUnknownRegion(t *testing.T) {
+	cfg := testConfig(t, false)
+	if _, err := RunVocabGrowth(cfg, []string{"NOPE"}); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestRunHorizontalSweep(t *testing.T) {
+	cfg := testConfig(t, true)
+	res, err := RunHorizontalSweep(cfg, []string{"ITA", "JPN"}, []float64{0, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if !res.Monotone {
+		t.Fatalf("homogenization not monotone: %+v", res.Points)
+	}
+	if res.Points[0].UsageTV <= res.Points[2].UsageTV {
+		t.Fatal("migration did not reduce usage distance")
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "horizontal_sweep.csv")); err != nil {
+		t.Fatal("horizontal_sweep.csv missing")
+	}
+	if s := res.Summary(); !strings.Contains(s, "Horizontal") {
+		t.Fatalf("summary: %s", s)
+	}
+}
+
+func TestRunHorizontalSweepUnknownRegion(t *testing.T) {
+	cfg := testConfig(t, false)
+	if _, err := RunHorizontalSweep(cfg, []string{"NOPE"}, nil); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestRegistryIncludesExtras(t *testing.T) {
+	names := Names()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"pairing", "vocab-growth", "horizontal"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("registry missing %s: %v", want, names)
+		}
+	}
+}
+
+// TestRunDiversity checks that usage-profile clustering recovers
+// geo-cultural blocks: the East-Asian soy cuisines group together, the
+// north-European dairy-baking cuisines group together, and the
+// Mediterranean olive cuisines group together.
+func TestRunDiversity(t *testing.T) {
+	cfg := testConfig(t, true)
+	cfg.RecipeScale = 0.1
+	res, err := RunDiversity(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 5 {
+		t.Fatalf("clusters = %v", res.Clusters)
+	}
+	clusterOf := map[string]int{}
+	for i, c := range res.Clusters {
+		for _, code := range c {
+			clusterOf[code] = i
+		}
+	}
+	if len(clusterOf) != 25 {
+		t.Fatalf("partition covers %d cuisines", len(clusterOf))
+	}
+	sameCluster := func(a, b string) bool { return clusterOf[a] == clusterOf[b] }
+	for _, pair := range [][2]string{
+		{"JPN", "KOR"}, {"JPN", "CHN"}, // soy-ginger block
+		{"UK", "BN"}, {"UK", "SCND"}, {"FRA", "IRL"}, // dairy-baking block
+		{"ITA", "GRC"}, {"ITA", "SP"}, // Mediterranean block
+	} {
+		if !sameCluster(pair[0], pair[1]) {
+			t.Errorf("%s and %s should share a usage cluster: %v", pair[0], pair[1], res.Clusters)
+		}
+	}
+	// The spice-forward and dairy-baking worlds must be separated.
+	if sameCluster("INSC", "SCND") {
+		t.Error("INSC and SCND should not share a cluster")
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "diversity_dendrogram.txt")); err != nil {
+		t.Fatal("dendrogram artifact missing")
+	}
+	if s := res.Summary(); !strings.Contains(s, "clusters") {
+		t.Fatalf("summary: %s", s)
+	}
+}

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"io"
+
+	"cuisinevol/internal/cuisine"
+	"cuisinevol/internal/plot"
+	"cuisinevol/internal/report"
+	"cuisinevol/internal/stats"
+)
+
+// Fig1Result is the recipe size distribution analysis of Fig 1.
+type Fig1Result struct {
+	// PerRegion[code][s] is the fraction of the region's recipes with
+	// exactly s ingredients (s in 0..MaxRecipeSize; 0 and 1 are always
+	// empty by construction).
+	PerRegion map[string][]float64
+	// Aggregate is the same density over the whole corpus (the inset).
+	Aggregate []float64
+	// Mean and SD of the aggregate size distribution.
+	Mean, SD float64
+	// MinSize and MaxSize observed.
+	MinSize, MaxSize int
+	// KSStatistic and KSPValue test the aggregate sizes against a normal
+	// with the fitted mean/SD ("the recipe size distribution ... was
+	// gaussian").
+	KSStatistic, KSPValue float64
+}
+
+// RunFig1 reproduces Fig 1: individual and aggregated recipe size
+// distributions for the 25 cuisines.
+func RunFig1(cfg *Config) (*Fig1Result, error) {
+	corpus, err := cfg.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{PerRegion: make(map[string][]float64, cuisine.Count)}
+
+	var allSizes []float64
+	res.MinSize = cuisine.MaxRecipeSize
+	for _, region := range cuisine.All() {
+		view := corpus.Region(region.Code)
+		sizes := view.Sizes()
+		counts := stats.CountHistogram(sizes, cuisine.MaxRecipeSize)
+		density := make([]float64, len(counts))
+		for s, c := range counts {
+			density[s] = float64(c) / float64(len(sizes))
+			if c > 0 {
+				if s < res.MinSize {
+					res.MinSize = s
+				}
+				if s > res.MaxSize {
+					res.MaxSize = s
+				}
+			}
+		}
+		res.PerRegion[region.Code] = density
+		for _, s := range sizes {
+			allSizes = append(allSizes, float64(s))
+		}
+	}
+	aggCounts := make([]float64, cuisine.MaxRecipeSize+1)
+	for _, s := range allSizes {
+		aggCounts[int(s)]++
+	}
+	res.Aggregate = make([]float64, len(aggCounts))
+	for i, c := range aggCounts {
+		res.Aggregate[i] = c / float64(len(allSizes))
+	}
+	res.Mean, res.SD = stats.FitNormal(allSizes)
+	res.KSStatistic, res.KSPValue = stats.KSTestNormal(allSizes, res.Mean, res.SD)
+
+	if err := cfg.writeArtifact("fig1.svg", func(f io.Writer) error {
+		chart := plot.SVGChart{
+			Title:  "Fig 1: recipe size distribution per cuisine",
+			XLabel: "Recipe size (number of ingredients)",
+			YLabel: "Fraction of recipes",
+			Lines:  true,
+		}
+		for _, region := range cuisine.All() {
+			chart.Series = append(chart.Series, sizeSeries(region.Code, res.PerRegion[region.Code]))
+		}
+		_, err := chart.WriteTo(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := cfg.writeArtifact("fig1_aggregate.svg", func(f io.Writer) error {
+		chart := plot.SVGChart{
+			Title:  "Fig 1 (inset): aggregated recipe size distribution",
+			XLabel: "Recipe size",
+			YLabel: "Fraction of recipes",
+			Lines:  true,
+			Series: []plot.Series{sizeSeries("all cuisines", res.Aggregate)},
+		}
+		_, err := chart.WriteTo(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := cfg.writeArtifact("fig1.csv", func(f io.Writer) error {
+		series := make(map[string][]float64, len(res.PerRegion)+1)
+		for code, d := range res.PerRegion {
+			series[code] = d
+		}
+		series["ALL"] = res.Aggregate
+		return report.WriteSeriesCSV(f, series, "cuisine", "size", "fraction")
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sizeSeries converts a size density into a plottable series, skipping
+// empty sizes at the boundaries.
+func sizeSeries(label string, density []float64) plot.Series {
+	s := plot.Series{Label: label}
+	for size, frac := range density {
+		if frac > 0 {
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, frac)
+		}
+	}
+	return s
+}

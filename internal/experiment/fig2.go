@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"io"
+
+	"cuisinevol/internal/catprofile"
+	"cuisinevol/internal/cuisine"
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/plot"
+	"cuisinevol/internal/report"
+	"cuisinevol/internal/stats"
+)
+
+// Fig2Result is the category-composition analysis of Fig 2.
+type Fig2Result struct {
+	// Means[code][c] is the average number of ingredients per recipe
+	// from category c in cuisine code.
+	Means map[string][ingredient.NumCategories]float64
+	// Boxes[c] is the boxplot of the 25 per-cuisine means for category
+	// c — the spread Fig 2 displays.
+	Boxes [ingredient.NumCategories]stats.Boxplot
+	// Leading lists categories by descending aggregate mean usage.
+	Leading []ingredient.Category
+}
+
+// RunFig2 reproduces Fig 2: per-category ingredient usage across the 25
+// cuisines.
+func RunFig2(cfg *Config) (*Fig2Result, error) {
+	corpus, err := cfg.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{Means: make(map[string][ingredient.NumCategories]float64, cuisine.Count)}
+	perCategory := make([][]float64, ingredient.NumCategories)
+	for _, region := range cuisine.All() {
+		profile, err := catprofile.New(corpus.Region(region.Code))
+		if err != nil {
+			return nil, err
+		}
+		means := profile.Means()
+		res.Means[region.Code] = means
+		for c, m := range means {
+			perCategory[c] = append(perCategory[c], m)
+		}
+	}
+	for c, ms := range perCategory {
+		box, err := stats.NewBoxplot(ms)
+		if err != nil {
+			return nil, err
+		}
+		res.Boxes[c] = box
+	}
+	aggProfile, err := catprofile.New(corpus.AllView())
+	if err != nil {
+		return nil, err
+	}
+	res.Leading = aggProfile.TopCategories()
+
+	if err := cfg.writeArtifact("fig2.svg", func(f io.Writer) error {
+		panel := plot.SVGBoxplots{Title: "Fig 2: ingredients per recipe by category, across 25 cuisines"}
+		for _, c := range res.Leading {
+			b := res.Boxes[c]
+			panel.Boxes = append(panel.Boxes, plot.BoxStats{
+				Label: c.String(), WhiskLo: b.WhiskLo, Q1: b.Q1, Med: b.Med, Q3: b.Q3, WhiskHi: b.WhiskHi,
+			})
+		}
+		_, err := panel.WriteTo(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := cfg.writeArtifact("fig2.csv", func(f io.Writer) error {
+		tbl := report.NewTable("", append([]string{"cuisine"}, categoryHeaders()...)...)
+		for _, region := range cuisine.All() {
+			cells := make([]any, 0, ingredient.NumCategories+1)
+			cells = append(cells, region.Code)
+			means := res.Means[region.Code]
+			for _, m := range means {
+				cells = append(cells, report.Float(m, 4))
+			}
+			tbl.AddRow(cells...)
+		}
+		return tbl.WriteCSV(f)
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func categoryHeaders() []string {
+	out := make([]string, ingredient.NumCategories)
+	for i, c := range ingredient.AllCategories() {
+		out[i] = c.String()
+	}
+	return out
+}

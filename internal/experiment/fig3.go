@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cuisinevol/internal/cuisine"
+	"cuisinevol/internal/itemset"
+	"cuisinevol/internal/plot"
+	"cuisinevol/internal/rankfreq"
+	"cuisinevol/internal/recipe"
+	"cuisinevol/internal/report"
+)
+
+// Fig3Panel is one panel of Fig 3: rank-frequency distributions of
+// frequent combinations for every cuisine, plus the pairwise Eq 2 matrix.
+type Fig3Panel struct {
+	// Dists holds one distribution per cuisine in Table I order, plus the
+	// aggregate over all recipes (labeled "ALL") last.
+	Dists []rankfreq.Distribution
+	// Matrix is the pairwise Eq 2 matrix over the 25 cuisines (aggregate
+	// excluded).
+	Matrix rankfreq.Matrix
+	// MeanMAE is the matrix's off-diagonal mean (the paper reports 0.035
+	// for ingredients and 0.052 for categories).
+	MeanMAE float64
+	// MostDistinct lists cuisines by descending mean distance to the
+	// others (the paper singles out Central America, Korea, ...).
+	MostDistinct []string
+}
+
+// Fig3Result holds both panels of Fig 3.
+type Fig3Result struct {
+	Ingredients Fig3Panel // Fig 3a
+	Categories  Fig3Panel // Fig 3b
+}
+
+// RunFig3 reproduces Fig 3: invariance of the rank-frequency
+// distributions of frequent ingredient and category combinations.
+func RunFig3(cfg *Config) (*Fig3Result, error) {
+	corpus, err := cfg.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	minSupport := cfg.MinSupport
+	if minSupport == 0 {
+		minSupport = 0.05
+	}
+	res := &Fig3Result{}
+	res.Ingredients, err = buildPanel(corpus, minSupport, false)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig3a: %w", err)
+	}
+	res.Categories, err = buildPanel(corpus, minSupport, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig3b: %w", err)
+	}
+
+	for _, p := range []struct {
+		name  string
+		panel *Fig3Panel
+	}{
+		{"fig3a", &res.Ingredients},
+		{"fig3b", &res.Categories},
+	} {
+		panel := p.panel
+		name := p.name
+		if err := cfg.writeArtifact(name+".svg", func(f io.Writer) error {
+			chart := plot.SVGChart{
+				Title:  fmt.Sprintf("Fig %s: rank-frequency of combinations (support >= %.0f%%)", name[3:], minSupport*100),
+				XLabel: "Rank",
+				YLabel: "Frequency (normalized)",
+				LogX:   true,
+				LogY:   true,
+				Lines:  true,
+			}
+			for _, d := range panel.Dists {
+				chart.Series = append(chart.Series, plot.RankSeries(d.Label, d.Freqs))
+			}
+			_, err := chart.WriteTo(f)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if err := cfg.writeArtifact(name+".csv", func(f io.Writer) error {
+			series := make(map[string][]float64, len(panel.Dists))
+			for _, d := range panel.Dists {
+				series[d.Label] = d.Freqs
+			}
+			return report.WriteSeriesCSV(f, series, "cuisine", "rank", "frequency")
+		}); err != nil {
+			return nil, err
+		}
+		if err := cfg.writeArtifact(name+"_mae.csv", func(f io.Writer) error {
+			return writeMatrixCSV(f, panel.Matrix)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// buildPanel mines each cuisine (and the aggregate corpus), builds the
+// rank-frequency distributions and the pairwise matrix.
+func buildPanel(corpus *recipe.Corpus, minSupport float64, categories bool) (Fig3Panel, error) {
+	panel := Fig3Panel{}
+	var cuisineDists []rankfreq.Distribution
+	for _, region := range cuisine.All() {
+		view := corpus.Region(region.Code)
+		d, err := mineView(view, minSupport, categories)
+		if err != nil {
+			return Fig3Panel{}, err
+		}
+		cuisineDists = append(cuisineDists, d)
+	}
+	all, err := mineView(corpus.AllView(), minSupport, categories)
+	if err != nil {
+		return Fig3Panel{}, err
+	}
+	all.Label = "ALL"
+	panel.Dists = append(append([]rankfreq.Distribution(nil), cuisineDists...), all)
+
+	panel.Matrix, err = rankfreq.Pairwise(cuisineDists, rankfreq.PaperMAE)
+	if err != nil {
+		return Fig3Panel{}, err
+	}
+	panel.MeanMAE = panel.Matrix.MeanOffDiagonal()
+
+	rows := panel.Matrix.RowMeans()
+	type labeled struct {
+		code string
+		mean float64
+	}
+	order := make([]labeled, len(rows))
+	for i, m := range rows {
+		order[i] = labeled{panel.Matrix.Labels[i], m}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].mean > order[j].mean })
+	for _, o := range order {
+		panel.MostDistinct = append(panel.MostDistinct, o.code)
+	}
+	return panel, nil
+}
+
+// mineView mines a corpus view's frequent combinations and returns the
+// rank-frequency distribution labeled with the view's region.
+func mineView(view recipe.View, minSupport float64, categories bool) (rankfreq.Distribution, error) {
+	txs := view.Transactions()
+	if categories {
+		txs = view.CategoryTransactions()
+	}
+	result, err := itemset.FPGrowth(txs, minSupport)
+	if err != nil {
+		return rankfreq.Distribution{}, err
+	}
+	return rankfreq.FromResult(view.Region(), result), nil
+}
+
+// writeMatrixCSV writes a labeled square matrix as CSV.
+func writeMatrixCSV(f io.Writer, m rankfreq.Matrix) error {
+	tbl := report.NewTable("", append([]string{"cuisine"}, m.Labels...)...)
+	for i, row := range m.D {
+		cells := make([]any, 0, len(row)+1)
+		cells = append(cells, m.Labels[i])
+		for _, v := range row {
+			cells = append(cells, report.Float(v, 6))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl.WriteCSV(f)
+}

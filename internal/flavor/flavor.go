@@ -1,0 +1,254 @@
+// Package flavor provides a synthetic FlavorDB-like substrate: flavor-
+// molecule profiles for every lexicon ingredient and the food-pairing
+// analysis of the literature the paper builds on (Ahn et al. 2011; Jain,
+// Rakhi & Bagler 2015 — refs [3]-[6]). FlavorDB itself [9] supplies the
+// paper's ingredient lexicon; its molecule data is not redistributable,
+// so profiles here are generated deterministically with the structural
+// property that matters for pairing analyses: ingredients of the same
+// category share substantially more molecules than ingredients of
+// different categories.
+package flavor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/randx"
+	"cuisinevol/internal/recipe"
+)
+
+// Molecule is a synthetic flavor-molecule identifier.
+type Molecule int32
+
+// Config parameterizes profile generation.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical profiles.
+	Seed uint64
+	// Lexicon defaults to ingredient.Builtin().
+	Lexicon *ingredient.Lexicon
+	// UniverseSize is the number of distinct molecules (default 2600,
+	// the order of FlavorDB's molecule space and large enough for the
+	// 21 category pools to be disjoint).
+	UniverseSize int
+	// CategoryPoolSize is each category's dedicated molecule pool
+	// (default 120).
+	CategoryPoolSize int
+	// MinMolecules and MaxMolecules bound per-ingredient profile sizes
+	// (defaults 20 and 60).
+	MinMolecules, MaxMolecules int
+	// CategoryShare is the fraction of an ingredient's molecules drawn
+	// from its category pool (default 0.7); the rest come from the
+	// global universe.
+	CategoryShare float64
+}
+
+// DefaultConfig returns the calibrated generation parameters.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:             seed,
+		Lexicon:          ingredient.Builtin(),
+		UniverseSize:     2600,
+		CategoryPoolSize: 120,
+		MinMolecules:     20,
+		MaxMolecules:     60,
+		CategoryShare:    0.7,
+	}
+}
+
+// Profile holds the molecule sets of every lexicon ingredient.
+// Immutable after generation; safe for concurrent use.
+type Profile struct {
+	lex       *ingredient.Lexicon
+	molecules [][]Molecule // by ingredient ID; sorted ascending
+}
+
+// Generate builds a synthetic molecule profile.
+func Generate(cfg Config) (*Profile, error) {
+	if cfg.Lexicon == nil {
+		cfg.Lexicon = ingredient.Builtin()
+	}
+	if cfg.UniverseSize <= 0 {
+		return nil, fmt.Errorf("flavor: UniverseSize must be positive, got %d", cfg.UniverseSize)
+	}
+	if cfg.CategoryPoolSize <= 0 || cfg.CategoryPoolSize > cfg.UniverseSize {
+		return nil, fmt.Errorf("flavor: CategoryPoolSize %d outside (0, %d]", cfg.CategoryPoolSize, cfg.UniverseSize)
+	}
+	if cfg.MinMolecules < 1 || cfg.MaxMolecules < cfg.MinMolecules {
+		return nil, fmt.Errorf("flavor: invalid molecule bounds [%d, %d]", cfg.MinMolecules, cfg.MaxMolecules)
+	}
+	if cfg.MaxMolecules > cfg.UniverseSize {
+		return nil, fmt.Errorf("flavor: MaxMolecules %d exceeds universe %d", cfg.MaxMolecules, cfg.UniverseSize)
+	}
+	if cfg.CategoryShare < 0 || cfg.CategoryShare > 1 {
+		return nil, fmt.Errorf("flavor: CategoryShare must be in [0,1], got %v", cfg.CategoryShare)
+	}
+
+	src := randx.New(cfg.Seed)
+	// Assign each category a dedicated pool of molecule IDs (disjoint
+	// pools when the universe permits, wrapped otherwise).
+	pools := make([][]Molecule, ingredient.NumCategories)
+	perm := src.Perm(cfg.UniverseSize)
+	for c := range pools {
+		pool := make([]Molecule, cfg.CategoryPoolSize)
+		for i := range pool {
+			pool[i] = Molecule(perm[(c*cfg.CategoryPoolSize+i)%cfg.UniverseSize])
+		}
+		pools[c] = pool
+	}
+
+	lex := cfg.Lexicon
+	p := &Profile{lex: lex, molecules: make([][]Molecule, lex.Len())}
+	for id := 0; id < lex.Len(); id++ {
+		isrc := src.Split()
+		size := cfg.MinMolecules
+		if cfg.MaxMolecules > cfg.MinMolecules {
+			size += isrc.Intn(cfg.MaxMolecules - cfg.MinMolecules + 1)
+		}
+		fromCategory := int(float64(size) * cfg.CategoryShare)
+		pool := pools[lex.CategoryOf(ingredient.ID(id))]
+		set := make(map[Molecule]struct{}, size)
+		for _, i := range isrc.SampleInts(len(pool), min(fromCategory, len(pool))) {
+			set[pool[i]] = struct{}{}
+		}
+		for len(set) < size {
+			set[Molecule(isrc.Intn(cfg.UniverseSize))] = struct{}{}
+		}
+		mols := make([]Molecule, 0, len(set))
+		for m := range set {
+			mols = append(mols, m)
+		}
+		sort.Slice(mols, func(a, b int) bool { return mols[a] < mols[b] })
+		p.molecules[id] = mols
+	}
+	return p, nil
+}
+
+// Lexicon returns the lexicon the profile is defined over.
+func (p *Profile) Lexicon() *ingredient.Lexicon { return p.lex }
+
+// Molecules returns the ingredient's molecule set (sorted ascending).
+// The returned slice is shared; callers must not modify it.
+func (p *Profile) Molecules(id ingredient.ID) []Molecule {
+	return p.molecules[id]
+}
+
+// Shared returns the number of molecules two ingredients have in common —
+// the food-pairing affinity of Ahn et al.
+func (p *Profile) Shared(a, b ingredient.ID) int {
+	ma, mb := p.molecules[a], p.molecules[b]
+	i, j, n := 0, 0, 0
+	for i < len(ma) && j < len(mb) {
+		switch {
+		case ma[i] < mb[j]:
+			i++
+		case ma[i] > mb[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// MeanShared returns the mean number of shared molecules over all
+// ingredient pairs of a recipe (N_s in Ahn et al.); 0 for recipes with
+// fewer than two ingredients.
+func (p *Profile) MeanShared(recipe []ingredient.ID) float64 {
+	n := len(recipe)
+	if n < 2 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total += p.Shared(recipe[i], recipe[j])
+		}
+	}
+	return float64(total) / float64(n*(n-1)/2)
+}
+
+// PairingResult is the food-pairing analysis of one cuisine: the mean
+// recipe-level molecule sharing against a random-recipe null (uniform
+// draws from the cuisine's used ingredients with the same recipe sizes),
+// following Ahn et al.'s construction.
+type PairingResult struct {
+	Region string
+	// RealMean is the average N_s over the cuisine's recipes.
+	RealMean float64
+	// RandMean and RandSD summarize the null ensemble.
+	RandMean, RandSD float64
+	// Delta = RealMean − RandMean: positive means the cuisine prefers
+	// flavor-sharing combinations (the food-pairing hypothesis);
+	// negative means it avoids them.
+	Delta float64
+	// Z is Delta in null standard deviations.
+	Z float64
+}
+
+// AnalyzeCuisine computes the pairing result for a corpus view using
+// nRand random replicate corpora for the null.
+func AnalyzeCuisine(p *Profile, view recipe.View, nRand int, seed uint64) (PairingResult, error) {
+	if view.Len() == 0 {
+		return PairingResult{}, fmt.Errorf("flavor: view %q has no recipes", view.Region())
+	}
+	if nRand < 2 {
+		return PairingResult{}, fmt.Errorf("flavor: need at least 2 null replicates, got %d", nRand)
+	}
+	res := PairingResult{Region: view.Region()}
+
+	real := 0.0
+	sizes := make([]int, 0, view.Len())
+	view.Each(func(r recipe.Recipe) bool {
+		real += p.MeanShared(r.Ingredients)
+		sizes = append(sizes, r.Size())
+		return true
+	})
+	res.RealMean = real / float64(view.Len())
+
+	used := view.UsedIngredientIDs()
+	src := randx.New(seed)
+	nullMeans := make([]float64, nRand)
+	for rep := 0; rep < nRand; rep++ {
+		rsrc := src.Split()
+		total := 0.0
+		for _, size := range sizes {
+			k := size
+			if k > len(used) {
+				k = len(used)
+			}
+			picks := rsrc.SampleInts(len(used), k)
+			rcp := make([]ingredient.ID, k)
+			for i, pi := range picks {
+				rcp[i] = used[pi]
+			}
+			total += p.MeanShared(rcp)
+		}
+		nullMeans[rep] = total / float64(len(sizes))
+	}
+	var sum, sumsq float64
+	for _, m := range nullMeans {
+		sum += m
+		sumsq += m * m
+	}
+	res.RandMean = sum / float64(nRand)
+	variance := sumsq/float64(nRand) - res.RandMean*res.RandMean
+	if variance > 0 {
+		res.RandSD = math.Sqrt(variance)
+	}
+	res.Delta = res.RealMean - res.RandMean
+	if res.RandSD > 0 {
+		res.Z = res.Delta / res.RandSD
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

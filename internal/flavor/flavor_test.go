@@ -1,0 +1,250 @@
+package flavor
+
+import (
+	"reflect"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+)
+
+var lex = ingredient.Builtin()
+
+func testProfile(t *testing.T) *Profile {
+	t.Helper()
+	p, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := testProfile(t)
+	b := testProfile(t)
+	for id := 0; id < lex.Len(); id++ {
+		if !reflect.DeepEqual(a.molecules[id], b.molecules[id]) {
+			t.Fatalf("profiles differ for %s", lex.Name(ingredient.ID(id)))
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a, err := Generate(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for id := 0; id < lex.Len(); id++ {
+		if reflect.DeepEqual(a.molecules[id], b.molecules[id]) {
+			same++
+		}
+	}
+	if same > lex.Len()/20 {
+		t.Fatalf("%d/%d profiles identical across seeds", same, lex.Len())
+	}
+}
+
+func TestProfileBounds(t *testing.T) {
+	cfg := DefaultConfig(3)
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < lex.Len(); id++ {
+		mols := p.Molecules(ingredient.ID(id))
+		if len(mols) < cfg.MinMolecules || len(mols) > cfg.MaxMolecules {
+			t.Fatalf("%s has %d molecules, want [%d, %d]",
+				lex.Name(ingredient.ID(id)), len(mols), cfg.MinMolecules, cfg.MaxMolecules)
+		}
+		for i, m := range mols {
+			if int(m) < 0 || int(m) >= cfg.UniverseSize {
+				t.Fatalf("molecule %d outside universe", m)
+			}
+			if i > 0 && mols[i-1] >= m {
+				t.Fatalf("molecules not strictly ascending for %s", lex.Name(ingredient.ID(id)))
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.UniverseSize = 0 },
+		func(c *Config) { c.CategoryPoolSize = 0 },
+		func(c *Config) { c.CategoryPoolSize = c.UniverseSize + 1 },
+		func(c *Config) { c.MinMolecules = 0 },
+		func(c *Config) { c.MaxMolecules = c.MinMolecules - 1 },
+		func(c *Config) { c.MaxMolecules = c.UniverseSize + 1 },
+		func(c *Config) { c.CategoryShare = 1.5 },
+		func(c *Config) { c.CategoryShare = -0.1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(1)
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSharedSymmetricAndSelf(t *testing.T) {
+	p := testProfile(t)
+	a := lex.MustID("basil")
+	b := lex.MustID("oregano")
+	if p.Shared(a, b) != p.Shared(b, a) {
+		t.Fatal("Shared not symmetric")
+	}
+	if p.Shared(a, a) != len(p.Molecules(a)) {
+		t.Fatal("self-sharing must equal profile size")
+	}
+}
+
+// TestCategoryAffinity verifies the structural property the analyses
+// rely on: same-category ingredient pairs share more molecules on
+// average than cross-category pairs.
+func TestCategoryAffinity(t *testing.T) {
+	p := testProfile(t)
+	herbs := lex.ByCategory(ingredient.Herb)
+	meats := lex.ByCategory(ingredient.Meat)
+	within, cross := 0.0, 0.0
+	nw, nc := 0, 0
+	for i := 0; i < len(herbs); i++ {
+		for j := i + 1; j < len(herbs); j++ {
+			within += float64(p.Shared(herbs[i], herbs[j]))
+			nw++
+		}
+		for j := 0; j < len(meats); j++ {
+			cross += float64(p.Shared(herbs[i], meats[j]))
+			nc++
+		}
+	}
+	within /= float64(nw)
+	cross /= float64(nc)
+	if within <= 2*cross {
+		t.Fatalf("category affinity too weak: within %v vs cross %v", within, cross)
+	}
+}
+
+func TestMeanShared(t *testing.T) {
+	p := testProfile(t)
+	a, b, c := lex.MustID("basil"), lex.MustID("oregano"), lex.MustID("thyme")
+	want := float64(p.Shared(a, b)+p.Shared(a, c)+p.Shared(b, c)) / 3
+	if got := p.MeanShared([]ingredient.ID{a, b, c}); got != want {
+		t.Fatalf("MeanShared = %v, want %v", got, want)
+	}
+	if p.MeanShared([]ingredient.ID{a}) != 0 {
+		t.Fatal("single-ingredient recipe must score 0")
+	}
+	if p.MeanShared(nil) != 0 {
+		t.Fatal("empty recipe must score 0")
+	}
+}
+
+// pairedCorpus builds two single-region corpora over the same ingredient
+// set: one whose recipes stay within a category (high sharing) and one
+// whose recipes mix categories (low sharing).
+func pairedCorpus(t *testing.T) *recipe.Corpus {
+	t.Helper()
+	c := recipe.NewCorpus(lex)
+	herbs := lex.ByCategory(ingredient.Herb)
+	meats := lex.ByCategory(ingredient.Meat)
+	if len(herbs) < 8 || len(meats) < 8 {
+		t.Fatal("lexicon too small for pairing test")
+	}
+	for i := 0; i+3 < 16; i += 2 {
+		// PAIRED: recipes of 4 herbs.
+		if err := c.Add(recipe.Recipe{Region: "PAIRED", Ingredients: []ingredient.ID{
+			herbs[i%len(herbs)], herbs[(i+1)%len(herbs)], herbs[(i+2)%len(herbs)], herbs[(i+3)%len(herbs)],
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		// MIXED: recipes alternating herbs and meats.
+		if err := c.Add(recipe.Recipe{Region: "MIXED", Ingredients: []ingredient.ID{
+			herbs[i%len(herbs)], meats[i%len(meats)], herbs[(i+1)%len(herbs)], meats[(i+1)%len(meats)],
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestAnalyzeCuisineSigns(t *testing.T) {
+	p := testProfile(t)
+	c := pairedCorpus(t)
+	paired, err := AnalyzeCuisine(p, c.Region("PAIRED"), 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := AnalyzeCuisine(p, c.Region("MIXED"), 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PAIRED recipes are all-herb; random recipes from the same (all
+	// herb) vocabulary share just as much, so its delta is ~0. MIXED
+	// recipes alternate herb/meat which shares *less* than random pairs
+	// from the union vocabulary (random pairs are sometimes same-
+	// category): delta must be negative.
+	if mixed.Delta >= 0 {
+		t.Fatalf("mixed-category cuisine should have negative pairing delta, got %+v", mixed)
+	}
+	if mixed.Delta >= paired.Delta {
+		t.Fatalf("mixed delta %v should be below paired delta %v", mixed.Delta, paired.Delta)
+	}
+	if paired.RealMean <= mixed.RealMean {
+		t.Fatalf("paired real mean %v should exceed mixed %v", paired.RealMean, mixed.RealMean)
+	}
+}
+
+func TestAnalyzeCuisineErrors(t *testing.T) {
+	p := testProfile(t)
+	c := recipe.NewCorpus(lex)
+	if _, err := AnalyzeCuisine(p, c.Region("NONE"), 10, 1); err == nil {
+		t.Fatal("empty view accepted")
+	}
+	c2 := pairedCorpus(t)
+	if _, err := AnalyzeCuisine(p, c2.Region("PAIRED"), 1, 1); err == nil {
+		t.Fatal("nRand=1 accepted")
+	}
+}
+
+func TestAnalyzeCuisineDeterministic(t *testing.T) {
+	p := testProfile(t)
+	c := pairedCorpus(t)
+	a, err := AnalyzeCuisine(p, c.Region("MIXED"), 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeCuisine(p, c.Region("MIXED"), 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("analysis not deterministic")
+	}
+}
+
+func BenchmarkGenerateProfile(b *testing.B) {
+	cfg := DefaultConfig(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeanShared9(b *testing.B) {
+	p, err := Generate(DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rcp := lex.IDs()[:9]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.MeanShared(rcp)
+	}
+}

@@ -1,0 +1,143 @@
+// Package ingest implements the data-compilation pipeline of the paper's
+// §II: raw recipe records as scraped from aggregator websites — title,
+// source, multi-level geo annotation (continent/region/country) and raw
+// ingredient mention strings — are resolved through the aliasing protocol
+// (package textnorm) into canonical corpus recipes, with the bookkeeping
+// statistics the paper reports (coverage, resolution rate, drops).
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+	"cuisinevol/internal/textnorm"
+)
+
+// RawRecipe mirrors the scraped schema of the recipe aggregator sites
+// the paper compiled from (Genius Kitchen, Allrecipes, ...).
+type RawRecipe struct {
+	Title        string   `json:"title,omitempty"`
+	Source       string   `json:"source,omitempty"`
+	URL          string   `json:"url,omitempty"`
+	Continent    string   `json:"continent,omitempty"`
+	Region       string   `json:"region"`
+	Country      string   `json:"country,omitempty"`
+	Ingredients  []string `json:"ingredients"`
+	Instructions string   `json:"instructions,omitempty"`
+}
+
+// Stats records what happened during ingestion.
+type Stats struct {
+	RawRecipes int // records seen
+	Accepted   int // recipes added to the corpus
+	// Drop reasons.
+	DroppedNoRegion  int // missing 'region' annotation (the cuisine key)
+	DroppedTooSmall  int // fewer than MinIngredients resolved
+	DroppedTooLarge  int // more than MaxIngredients resolved
+	Mentions         int // ingredient mentions seen
+	ResolvedMentions int // mentions mapped to a lexicon entity
+}
+
+// ResolutionRate returns the fraction of mentions that resolved.
+func (s Stats) ResolutionRate() float64 {
+	if s.Mentions == 0 {
+		return 0
+	}
+	return float64(s.ResolvedMentions) / float64(s.Mentions)
+}
+
+// Options configures ingestion. The zero value selects the paper's
+// bounds: recipes keep between 2 and 38 resolved ingredients (Fig 1's
+// observed range) and the built-in lexicon.
+type Options struct {
+	Lexicon        *ingredient.Lexicon
+	MinIngredients int // default 2
+	MaxIngredients int // default 38
+}
+
+func (o *Options) defaults() {
+	if o.Lexicon == nil {
+		o.Lexicon = ingredient.Builtin()
+	}
+	if o.MinIngredients == 0 {
+		o.MinIngredients = 2
+	}
+	if o.MaxIngredients == 0 {
+		o.MaxIngredients = 38
+	}
+}
+
+// Ingest resolves raw records into a corpus. Records lacking a region
+// annotation or falling outside the ingredient-count bounds are dropped
+// (and counted); unresolvable mentions are skipped within a record.
+func Ingest(raws []RawRecipe, opts Options) (*recipe.Corpus, Stats, error) {
+	opts.defaults()
+	if opts.MinIngredients < 1 || opts.MaxIngredients < opts.MinIngredients {
+		return nil, Stats{}, fmt.Errorf("ingest: invalid ingredient bounds [%d, %d]",
+			opts.MinIngredients, opts.MaxIngredients)
+	}
+	norm := textnorm.NewNormalizer(opts.Lexicon)
+	corpus := recipe.NewCorpus(opts.Lexicon)
+	var stats Stats
+	for _, raw := range raws {
+		stats.RawRecipes++
+		if raw.Region == "" {
+			stats.DroppedNoRegion++
+			continue
+		}
+		stats.Mentions += len(raw.Ingredients)
+		ids, misses := norm.ResolveAll(raw.Ingredients)
+		stats.ResolvedMentions += len(raw.Ingredients) - misses
+		switch {
+		case len(ids) < opts.MinIngredients:
+			stats.DroppedTooSmall++
+			continue
+		case len(ids) > opts.MaxIngredients:
+			stats.DroppedTooLarge++
+			continue
+		}
+		if err := corpus.Add(recipe.Recipe{
+			Name:        raw.Title,
+			Region:      raw.Region,
+			Continent:   raw.Continent,
+			Country:     raw.Country,
+			Ingredients: ids,
+		}); err != nil {
+			return nil, stats, fmt.Errorf("ingest: record %d (%q): %w", stats.RawRecipes, raw.Title, err)
+		}
+		stats.Accepted++
+	}
+	return corpus, stats, nil
+}
+
+// ReadRawJSONL reads raw records in JSON Lines format.
+func ReadRawJSONL(r io.Reader) ([]RawRecipe, error) {
+	var out []RawRecipe
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for line := 1; ; line++ {
+		var raw RawRecipe
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		out = append(out, raw)
+	}
+	return out, nil
+}
+
+// WriteRawJSONL writes raw records in JSON Lines format.
+func WriteRawJSONL(w io.Writer, raws []RawRecipe) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, raw := range raws {
+		if err := enc.Encode(raw); err != nil {
+			return fmt.Errorf("ingest: encoding record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

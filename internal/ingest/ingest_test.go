@@ -1,0 +1,212 @@
+package ingest
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/synth"
+)
+
+var lex = ingredient.Builtin()
+
+func TestIngestBasic(t *testing.T) {
+	raws := []RawRecipe{
+		{
+			Title:  "pasta al pomodoro",
+			Region: "ITA", Continent: "Europe", Country: "Italy",
+			Ingredients: []string{
+				"400 g spaghetti",
+				"2 cups chopped tomatoes",
+				"3 cloves garlic, minced",
+				"fresh basil leaves",
+				"1/4 cup extra virgin olive oil",
+			},
+		},
+	}
+	corpus, stats, err := Ingest(raws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted != 1 || corpus.Len() != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	r := corpus.Get(0)
+	if r.Region != "ITA" || r.Country != "Italy" || r.Name != "pasta al pomodoro" {
+		t.Fatalf("metadata lost: %+v", r)
+	}
+	names := map[string]bool{}
+	for _, id := range r.Ingredients {
+		names[lex.Name(id)] = true
+	}
+	for _, want := range []string{"spaghetti", "tomato", "garlic", "basil", "olive oil"} {
+		if !names[want] {
+			t.Errorf("ingredient %q missing, got %v", want, names)
+		}
+	}
+	if stats.ResolutionRate() != 1 {
+		t.Fatalf("resolution rate %v, want 1", stats.ResolutionRate())
+	}
+}
+
+func TestIngestDropsNoRegion(t *testing.T) {
+	raws := []RawRecipe{{Ingredients: []string{"salt", "pepper"}}}
+	corpus, stats, err := Ingest(raws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 0 || stats.DroppedNoRegion != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestIngestDropsTooSmall(t *testing.T) {
+	raws := []RawRecipe{
+		{Region: "ITA", Ingredients: []string{"salt"}},
+		{Region: "ITA", Ingredients: []string{"unobtainium", "kryptonite", "salt"}},
+	}
+	_, stats, err := Ingest(raws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedTooSmall != 2 || stats.Accepted != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.ResolvedMentions != 2 { // salt twice
+		t.Fatalf("resolved mentions = %d", stats.ResolvedMentions)
+	}
+}
+
+func TestIngestDropsTooLarge(t *testing.T) {
+	var mentions []string
+	for _, e := range lex.All()[:40] {
+		mentions = append(mentions, e.Name)
+	}
+	raws := []RawRecipe{{Region: "ITA", Ingredients: mentions}}
+	_, stats, err := Ingest(raws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedTooLarge != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestIngestDeduplicatesMentions(t *testing.T) {
+	raws := []RawRecipe{{
+		Region:      "ITA",
+		Ingredients: []string{"1 tomato", "2 tomatoes", "roma tomato", "salt"},
+	}}
+	corpus, stats, err := Ingest(raws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if got := corpus.Get(0).Size(); got != 2 {
+		t.Fatalf("recipe size %d, want 2 (tomato deduplicated)", got)
+	}
+}
+
+func TestIngestBadOptions(t *testing.T) {
+	if _, _, err := Ingest(nil, Options{MinIngredients: -1, MaxIngredients: 5}); err == nil {
+		t.Fatal("negative min accepted")
+	}
+	if _, _, err := Ingest(nil, Options{MinIngredients: 10, MaxIngredients: 5}); err == nil {
+		t.Fatal("min > max accepted")
+	}
+}
+
+func TestRawJSONLRoundTrip(t *testing.T) {
+	raws := []RawRecipe{
+		{Title: "a", Region: "ITA", Ingredients: []string{"salt", "tomato"}},
+		{Title: "b", Region: "JPN", Country: "Japan", Ingredients: []string{"soy sauce"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRawJSONL(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRawJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, raws) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, raws)
+	}
+}
+
+func TestReadRawJSONLRejectsCorrupt(t *testing.T) {
+	if _, err := ReadRawJSONL(strings.NewReader("{oops")); err == nil {
+		t.Fatal("corrupt input accepted")
+	}
+}
+
+// TestRawifyIngestRoundTrip is the end-to-end aliasing-protocol test:
+// a synthetic corpus rendered into noisy website-style mentions must
+// ingest back into exactly the same ingredient sets.
+func TestRawifyIngestRoundTrip(t *testing.T) {
+	cfg := synth.DefaultConfig(42)
+	cfg.RecipeScale = 0.02
+	original, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := Rawify(original, 7)
+	if len(raws) != original.Len() {
+		t.Fatalf("rawified %d of %d recipes", len(raws), original.Len())
+	}
+	corpus, stats, err := Ingest(raws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted != original.Len() {
+		t.Fatalf("accepted %d of %d: %+v", stats.Accepted, original.Len(), stats)
+	}
+	if rate := stats.ResolutionRate(); rate != 1 {
+		t.Fatalf("resolution rate %v, want 1 (all mentions derive from the lexicon)", rate)
+	}
+	for i := 0; i < original.Len(); i++ {
+		want := append([]ingredient.ID(nil), original.Get(i).Ingredients...)
+		got := append([]ingredient.ID(nil), corpus.Get(i).Ingredients...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("recipe %d ingredient sets differ:\nwant %v\ngot  %v",
+				i, lex.Names(want), lex.Names(got))
+		}
+	}
+}
+
+func TestRawifyDeterministic(t *testing.T) {
+	cfg := synth.DefaultConfig(1)
+	cfg.RecipeScale = 0.01
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Rawify(corpus, 3)
+	b := Rawify(corpus, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Rawify not deterministic")
+	}
+}
+
+func BenchmarkIngest1k(b *testing.B) {
+	cfg := synth.DefaultConfig(1)
+	cfg.RecipeScale = 0.01
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raws := Rawify(corpus, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Ingest(raws, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package ingest
+
+import (
+	"fmt"
+
+	"cuisinevol/internal/randx"
+	"cuisinevol/internal/recipe"
+	"cuisinevol/internal/textnorm"
+)
+
+// Rawify converts a clean corpus back into noisy raw records of the kind
+// the aggregator websites serve: each ingredient is rendered as a mention
+// with a random quantity, unit, preparation descriptor and surface form
+// (canonical name or one of its aliases). It exercises the full aliasing
+// protocol; Ingest(Rawify(c)) reproduces c's ingredient sets (verified in
+// tests).
+func Rawify(corpus *recipe.Corpus, seed uint64) []RawRecipe {
+	src := randx.New(seed)
+	lex := corpus.Lexicon()
+	norm := textnorm.NewNormalizer(lex)
+	out := make([]RawRecipe, 0, corpus.Len())
+	quantities := []string{"1", "2", "3", "1/2", "1/4", "2 1/2", ""}
+	units := []string{"cup", "cups", "tablespoons", "tsp", "oz", "g", "pound", ""}
+	descriptors := []string{"chopped", "finely diced", "fresh", "minced", "sliced", "", ""}
+	suffixes := []string{", to taste", ", divided", " (optional)", "", "", ""}
+
+	corpus.AllView().Each(func(r recipe.Recipe) bool {
+		raw := RawRecipe{
+			Title:     r.Name,
+			Region:    r.Region,
+			Continent: r.Continent,
+			Country:   r.Country,
+			Source:    "synthetic",
+		}
+		if raw.Title == "" {
+			raw.Title = fmt.Sprintf("%s recipe %d", r.Region, r.ID)
+		}
+		for _, id := range r.Ingredients {
+			entity := lex.Get(id)
+			surface := entity.Name
+			if len(entity.Aliases) > 0 && src.Float64() < 0.4 {
+				surface = entity.Aliases[src.Intn(len(entity.Aliases))]
+			}
+			mention := ""
+			if q := randx.Choice(src, quantities); q != "" {
+				mention += q + " "
+			}
+			if u := randx.Choice(src, units); u != "" {
+				mention += u + " "
+			}
+			if d := randx.Choice(src, descriptors); d != "" {
+				mention += d + " "
+			}
+			mention += surface + randx.Choice(src, suffixes)
+			// Some decorations create genuinely ambiguous phrases —
+			// "ground" + "chicken" reads as the entity "ground chicken"
+			// — which no resolver can disambiguate. A real scrape never
+			// carries the intended entity, so the generator keeps its
+			// mentions unambiguous: if the noisy mention resolves to a
+			// different entity, fall back to the bare surface form, and
+			// if the chosen alias itself is ambiguous, to the canonical
+			// name (which always resolves to its own entity).
+			if got, ok := norm.Resolve(mention); !ok || got != id {
+				mention = surface
+				if got, ok := norm.Resolve(mention); !ok || got != id {
+					mention = entity.Name
+				}
+			}
+			raw.Ingredients = append(raw.Ingredients, mention)
+		}
+		out = append(out, raw)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,135 @@
+package ingredient
+
+// extraAliases supplements the inline alias table of data.go with
+// additional surface forms observed in scraped recipe text. Keyed by
+// canonical name; merged into the built-in lexicon at construction.
+// Duplicate or conflicting forms are rejected by NewLexicon, and the
+// exhaustive textnorm tests verify every form resolves to its entity.
+var extraAliases = map[string][]string{
+	"tomato":            {"vine tomato", "ripe tomatoes", "beefsteak tomato", "fresh tomato"},
+	"onion":             {"brown onion", "spanish onion", "sweet onion", "vidalia onion"},
+	"garlic":            {"fresh garlic", "whole garlic"},
+	"potato":            {"yukon gold potato", "maris piper", "waxy potato", "starchy potato"},
+	"carrot":            {"baby carrots", "carrot sticks"},
+	"bell pepper":       {"yellow bell pepper", "orange bell pepper", "red capsicum"},
+	"cucumber":          {"persian cucumber", "lebanese cucumber", "kirby cucumber"},
+	"spinach":           {"leaf spinach", "frozen spinach"},
+	"mushroom":          {"white mushrooms", "field mushroom", "champignon"},
+	"green onion":       {"green onions", "salad onion"},
+	"ginger":            {"gingerroot", "grated ginger"},
+	"butter":            {"sweet butter", "butter sticks", "stick butter"},
+	"milk":              {"fresh milk", "dairy milk", "2% milk", "low-fat milk"},
+	"cream":             {"thickened cream", "pouring cream", "heavy whipping cream"},
+	"egg":               {"medium egg", "medium eggs", "free range egg", "hen egg"},
+	"cheddar cheese":    {"mild cheddar", "mature cheddar", "aged cheddar"},
+	"parmesan cheese":   {"grated parmesan", "shaved parmesan"},
+	"mozzarella cheese": {"buffalo mozzarella", "mozzarella balls"},
+	"feta cheese":       {"crumbled feta", "greek feta"},
+	"yogurt":            {"natural yogurt", "natural yoghurt", "set curd"},
+	"sugar":             {"fine sugar", "superfine sugar", "baker's sugar"},
+	"brown sugar":       {"soft brown sugar", "muscovado sugar"},
+	"flour":             {"maida", "white flour", "ap flour"},
+	"rice":              {"steamed rice", "cooked rice", "long grain white rice"},
+	"basmati rice":      {"basmati", "aged basmati"},
+	"olive oil":         {"evoo", "light olive oil", "pure olive oil"},
+	"vegetable oil":     {"neutral oil", "salad oil", "frying oil"},
+	"soybean sauce":     {"soya sauce", "low-sodium soy sauce", "kecap manis"},
+	"fish sauce":        {"thai fish sauce", "vietnamese fish sauce"},
+	"chicken":           {"whole chickens", "roasting chicken", "broiler chicken"},
+	"chicken breast":    {"chicken breast halves", "chicken cutlet"},
+	"beef":              {"beef roast", "chuck roast", "beef cubes"},
+	"ground beef":       {"lean ground beef", "ground chuck", "ground sirloin"},
+	"pork":              {"pork roast", "boston butt"},
+	"bacon":             {"smoked bacon", "thick-cut bacon", "back bacon"},
+	"shrimp":            {"tiger prawns", "king prawns", "shrimps"},
+	"salmon":            {"atlantic salmon", "salmon steak", "fresh salmon"},
+	"tuna":              {"tuna in water", "albacore tuna", "yellowfin tuna"},
+	"cilantro":          {"coriander sprigs", "cilantro leaves", "green coriander"},
+	"parsley":           {"curly parsley", "parsley sprigs"},
+	"basil":             {"genovese basil", "basil sprigs"},
+	"mint":              {"spearmint leaves", "garden mint"},
+	"thyme":             {"lemon thyme", "thyme sprigs"},
+	"rosemary":          {"rosemary sprigs", "rosemary needles"},
+	"oregano":           {"greek oregano", "mexican oregano"},
+	"black pepper":      {"whole black pepper", "milled pepper", "kali mirch"},
+	"cumin":             {"whole cumin", "roasted cumin", "toasted cumin"},
+	"turmeric":          {"fresh turmeric", "turmeric root"},
+	"cinnamon":          {"cassia", "ceylon cinnamon", "cinnamon quill"},
+	"paprika":           {"spanish paprika", "mild paprika"},
+	"cayenne":           {"kashmiri chili powder", "hot red pepper"},
+	"chili flake":       {"aleppo pepper", "gochugaru", "urfa biber"},
+	"vanilla":           {"vanilla flavoring", "madagascar vanilla"},
+	"saffron":           {"saffron strands", "spanish saffron"},
+	"garam masala":      {"punjabi garam masala"},
+	"lemon":             {"meyer lemon", "whole lemon"},
+	"lime":              {"key lime", "persian lime"},
+	"orange":            {"valencia orange", "blood orange", "seville orange"},
+	"apple":             {"fuji apple", "honeycrisp apple", "cooking apple", "bramley apple"},
+	"banana":            {"cavendish banana", "baby banana"},
+	"mango":             {"alphonso mango", "ataulfo mango", "kesar mango"},
+	"coconut milk":      {"full-fat coconut milk", "thick coconut milk", "thin coconut milk"},
+	"coconut":           {"fresh coconut", "coconut meat", "copra"},
+	"avocado":           {"fuerte avocado", "avocado flesh"},
+	"olive":             {"nicoise olives", "castelvetrano olives", "manzanilla olives"},
+	"strawberry":        {"fresh strawberry", "hulled strawberries"},
+	"raisin":            {"black raisins", "muscat raisins"},
+	"date":              {"deglet noor dates", "pitted dates"},
+	"almond":            {"blanched almonds", "whole almonds", "badam"},
+	"cashew":            {"raw cashews", "roasted cashews"},
+	"walnut":            {"walnut halves", "english walnut", "akhrot"},
+	"peanut":            {"roasted peanuts", "raw peanuts", "moongphali"},
+	"sesame":            {"toasted sesame seeds", "hulled sesame", "white sesame"},
+	"chickpea":          {"kabuli chana", "canned chickpeas", "cooked chickpeas"},
+	"lentil":            {"whole lentils", "dal"},
+	"black bean":        {"canned black beans", "frijoles negros"},
+	"kidney bean":       {"canned kidney beans", "red beans"},
+	"tofu":              {"extra-firm tofu", "soft tofu", "tofu cubes"},
+	"bread":             {"crusty bread", "day-old bread", "bread loaf"},
+	"tortilla":          {"wheat tortilla", "soft tortilla", "tortilla wraps"},
+	"pita bread":        {"pita pockets", "pita rounds"},
+	"breadcrumbs":       {"fresh breadcrumbs", "dried breadcrumbs", "italian breadcrumbs"},
+	"spaghetti":         {"thin spaghetti", "whole wheat spaghetti"},
+	"macaroni":          {"elbow pasta", "elbows"},
+	"chicken stock":     {"low-sodium chicken broth", "homemade chicken stock"},
+	"beef stock":        {"rich beef stock"},
+	"vegetable stock":   {"vegetable bouillon"},
+	"red wine":          {"pinot noir", "shiraz", "full-bodied red wine"},
+	"white wine":        {"pinot grigio", "riesling", "crisp white wine"},
+	"beer":              {"pilsner", "amber ale", "wheat beer"},
+	"rum":               {"jamaican rum", "gold rum", "overproof rum"},
+	"whiskey":           {"rye whiskey", "irish whiskey"},
+	"honey":             {"wildflower honey", "runny honey", "shahad"},
+	"maple syrup":       {"grade a maple syrup", "grade b maple syrup"},
+	"vinegar":           {"white distilled vinegar", "spirit vinegar"},
+	"mayonnaise":        {"whole egg mayonnaise", "japanese mayonnaise", "kewpie"},
+	"tomato ketchup":    {"tomato catsup"},
+	"mustard":           {"brown mustard seed", "black mustard seed"},
+	"baking soda":       {"soda bicarbonate", "cooking soda"},
+	"yeast":             {"fresh yeast", "compressed yeast", "rapid rise yeast"},
+	"water":             {"filtered water", "ice water", "lukewarm water"},
+	"salt":              {"iodized salt", "pickling salt", "namak"},
+	"sea salt":          {"maldon salt", "fleur de sel"},
+	"dark chocolate":    {"baking chocolate"},
+	"cocoa powder":      {"dutch-process cocoa", "dutch cocoa"},
+	"coffee":            {"coffee powder", "filter coffee"},
+	"tea":               {"darjeeling tea", "assam tea", "earl grey"},
+}
+
+// applyExtraAliases merges the supplement into the raw entity list.
+// Unknown keys panic at init time so the tables cannot drift apart.
+func applyExtraAliases(entities []Ingredient) {
+	byName := make(map[string]int, len(entities))
+	for i, e := range entities {
+		byName[e.Name] = i
+	}
+	for name, aliases := range extraAliases {
+		if len(aliases) == 0 {
+			continue
+		}
+		i, ok := byName[name]
+		if !ok {
+			panic("ingredient: extraAliases references unknown entity " + name)
+		}
+		entities[i].Aliases = append(entities[i].Aliases, aliases...)
+	}
+}

@@ -1,0 +1,296 @@
+// Package itemset implements frequent-itemset mining over recipe
+// transactions: the combinations "of size 1 and greater which appeared in
+// at least 5% of all recipes in a cuisine" (paper, §IV). Two miners are
+// provided — level-wise Apriori and FP-Growth — which produce identical
+// results (cross-checked in tests); FP-Growth is the default for large
+// corpora.
+package itemset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cuisinevol/internal/ingredient"
+)
+
+// Itemset is a frequent combination of items with its absolute occurrence
+// count. Items are sorted ascending and never aliased with caller data.
+type Itemset struct {
+	Items []ingredient.ID
+	Count int
+}
+
+// Support returns the itemset's relative support given the transaction
+// count n.
+func (s Itemset) Support(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Count) / float64(n)
+}
+
+// String renders the itemset as "{a, b}×count" using raw IDs.
+func (s Itemset) String() string {
+	return fmt.Sprintf("%v x%d", s.Items, s.Count)
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Sets []Itemset // canonically ordered, see sortCanonical
+	N    int       // number of transactions mined
+}
+
+// Supports returns the relative supports of the frequent itemsets in
+// result order — the series from which rank-frequency distributions are
+// built (frequencies normalized by the total number of recipes, Fig 3).
+func (r *Result) Supports() []float64 {
+	out := make([]float64, len(r.Sets))
+	for i, s := range r.Sets {
+		out[i] = s.Support(r.N)
+	}
+	return out
+}
+
+// MaxSize returns the size of the largest frequent itemset.
+func (r *Result) MaxSize() int {
+	m := 0
+	for _, s := range r.Sets {
+		if len(s.Items) > m {
+			m = len(s.Items)
+		}
+	}
+	return m
+}
+
+// ErrBadSupport is returned when minSupport lies outside (0, 1].
+var ErrBadSupport = errors.New("itemset: minSupport must be in (0, 1]")
+
+// minCount converts a relative threshold to the smallest absolute count
+// satisfying count/n >= minSupport.
+func minCount(n int, minSupport float64) int {
+	mc := int(math.Ceil(minSupport*float64(n) - 1e-9))
+	if mc < 1 {
+		mc = 1
+	}
+	return mc
+}
+
+// sortCanonical orders itemsets by descending count, then ascending size,
+// then lexicographically — a total order that makes results comparable
+// across miners and runs.
+func sortCanonical(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) < len(b.Items)
+		}
+		for k := range a.Items {
+			if a.Items[k] != b.Items[k] {
+				return a.Items[k] < b.Items[k]
+			}
+		}
+		return false
+	})
+}
+
+// validateTransactions checks that every transaction is strictly
+// ascending (sorted, duplicate-free), as produced by recipe.View.
+func validateTransactions(txs [][]ingredient.ID) error {
+	for i, tx := range txs {
+		for j := 1; j < len(tx); j++ {
+			if tx[j-1] >= tx[j] {
+				return fmt.Errorf("itemset: transaction %d is not strictly ascending", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Apriori mines all frequent itemsets of size >= 1 with relative support
+// >= minSupport using the classical level-wise algorithm. Transactions
+// must be sorted ascending without duplicates.
+func Apriori(txs [][]ingredient.ID, minSupport float64) (*Result, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, ErrBadSupport
+	}
+	if err := validateTransactions(txs); err != nil {
+		return nil, err
+	}
+	n := len(txs)
+	res := &Result{N: n}
+	if n == 0 {
+		return res, nil
+	}
+	mc := minCount(n, minSupport)
+
+	// L1.
+	counts := make(map[ingredient.ID]int)
+	for _, tx := range txs {
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	var level []Itemset
+	for it, c := range counts {
+		if c >= mc {
+			level = append(level, Itemset{Items: []ingredient.ID{it}, Count: c})
+		}
+	}
+	sortLexical(level)
+	res.Sets = append(res.Sets, level...)
+
+	// Filter transactions down to frequent singletons once.
+	frequent := make(map[ingredient.ID]bool, len(level))
+	for _, s := range level {
+		frequent[s.Items[0]] = true
+	}
+	filtered := make([][]ingredient.ID, 0, n)
+	for _, tx := range txs {
+		ftx := make([]ingredient.ID, 0, len(tx))
+		for _, it := range tx {
+			if frequent[it] {
+				ftx = append(ftx, it)
+			}
+		}
+		if len(ftx) >= 2 {
+			filtered = append(filtered, ftx)
+		}
+	}
+
+	for len(level) >= 2 {
+		candidates := aprioriGen(level)
+		if len(candidates) == 0 {
+			break
+		}
+		countCandidates(candidates, filtered)
+		next := candidates[:0]
+		for _, c := range candidates {
+			if c.Count >= mc {
+				next = append(next, c)
+			}
+		}
+		level = append([]Itemset(nil), next...)
+		sortLexical(level)
+		res.Sets = append(res.Sets, level...)
+	}
+
+	sortCanonical(res.Sets)
+	return res, nil
+}
+
+// sortLexical orders same-size itemsets lexicographically, the order
+// aprioriGen's prefix join requires.
+func sortLexical(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i].Items, sets[j].Items
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// aprioriGen joins size-k itemsets sharing a (k-1)-prefix and prunes
+// candidates with an infrequent k-subset.
+func aprioriGen(level []Itemset) []Itemset {
+	k := len(level[0].Items)
+	known := make(map[string]bool, len(level))
+	for _, s := range level {
+		known[fingerprint(s.Items)] = true
+	}
+	var out []Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i].Items, level[j].Items
+			if !samePrefix(a, b, k-1) {
+				break // lexical order: once prefixes diverge, no more joins for i
+			}
+			cand := make([]ingredient.ID, k+1)
+			copy(cand, a)
+			if a[k-1] < b[k-1] {
+				cand[k] = b[k-1]
+			} else {
+				cand[k-1], cand[k] = b[k-1], a[k-1]
+			}
+			if prune(cand, known) {
+				continue
+			}
+			out = append(out, Itemset{Items: cand})
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []ingredient.ID, k int) bool {
+	for i := 0; i < k; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prune reports whether any k-subset of the (k+1)-candidate is not known
+// frequent.
+func prune(cand []ingredient.ID, known map[string]bool) bool {
+	sub := make([]ingredient.ID, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !known[fingerprint(sub)] {
+			return true
+		}
+	}
+	return false
+}
+
+// fingerprint encodes a sorted itemset as a compact map key.
+func fingerprint(items []ingredient.ID) string {
+	b := make([]byte, 0, len(items)*2)
+	for _, it := range items {
+		b = append(b, byte(it>>8), byte(it))
+	}
+	return string(b)
+}
+
+// countCandidates sets Count on each candidate by scanning the filtered
+// transactions with a sorted-merge containment test.
+func countCandidates(candidates []Itemset, txs [][]ingredient.ID) {
+	for _, tx := range txs {
+		for ci := range candidates {
+			if containsSorted(tx, candidates[ci].Items) {
+				candidates[ci].Count++
+			}
+		}
+	}
+}
+
+// containsSorted reports whether the sorted transaction contains every
+// item of the sorted candidate.
+func containsSorted(tx, items []ingredient.ID) bool {
+	if len(items) > len(tx) {
+		return false
+	}
+	i := 0
+	for _, want := range items {
+		for i < len(tx) && tx[i] < want {
+			i++
+		}
+		if i == len(tx) || tx[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}

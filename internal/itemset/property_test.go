@@ -1,0 +1,92 @@
+package itemset
+
+import (
+	"reflect"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/randx"
+)
+
+// TestMiningOrderInvariance: the mined itemsets (and their canonical
+// order) must not depend on transaction order.
+func TestMiningOrderInvariance(t *testing.T) {
+	src := randx.New(11)
+	txs := make([][]ingredient.ID, 120)
+	for i := range txs {
+		txs[i] = tx(src.SampleInts(15, 2+src.Intn(6))...)
+	}
+	base, err := FPGrowth(txs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([][]ingredient.ID(nil), txs...)
+		src.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := FPGrowth(shuffled, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Sets, got.Sets) {
+			t.Fatalf("trial %d: mining depends on transaction order", trial)
+		}
+	}
+}
+
+// TestMiningDuplicateTransactions: duplicating every transaction doubles
+// every count and leaves the frequent set unchanged at the same relative
+// support.
+func TestMiningDuplicateTransactions(t *testing.T) {
+	txs := classicTxs()
+	doubled := append(append([][]ingredient.ID(nil), txs...), txs...)
+	a, err := FPGrowth(txs, 2.0/9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FPGrowth(doubled, 2.0/9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm := setsAsMap(a), setsAsMap(b)
+	if len(am) != len(bm) {
+		t.Fatalf("frequent sets changed: %d vs %d", len(am), len(bm))
+	}
+	for k, c := range am {
+		if bm[k] != 2*c {
+			t.Fatalf("count not doubled for %q: %d vs %d", k, c, bm[k])
+		}
+	}
+}
+
+// TestSupersetTransactionsOnlyGrowCounts: widening a transaction can only
+// increase itemset counts (anti-monotonicity of containment).
+func TestSupersetTransactionsOnlyGrowCounts(t *testing.T) {
+	src := randx.New(13)
+	txs := make([][]ingredient.ID, 60)
+	for i := range txs {
+		txs[i] = tx(src.SampleInts(10, 2+src.Intn(4))...)
+	}
+	base, err := FPGrowth(txs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extend every transaction with item 99 (fresh, outside universe).
+	wider := make([][]ingredient.ID, len(txs))
+	for i, x := range txs {
+		wider[i] = append(append([]ingredient.ID(nil), x...), 99)
+	}
+	grown, err := FPGrowth(wider, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := setsAsMap(grown)
+	for _, s := range base.Sets {
+		if gm[fingerprint(s.Items)] < s.Count {
+			t.Fatalf("count shrank for %v", s.Items)
+		}
+	}
+	// Item 99 is now universal: it must be frequent with count == N.
+	if gm[fingerprint(tx(99))] != len(txs) {
+		t.Fatal("universal added item not counted")
+	}
+}

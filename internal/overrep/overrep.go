@@ -1,0 +1,98 @@
+// Package overrep implements the Ingredient Overrepresentation metric of
+// the paper (Eq 1):
+//
+//	Oᵢ^ς = nᵢ^ς / N^ς − Σ_c nᵢ^c / Σ_c N^c
+//
+// where nᵢ^ς is the number of recipes of cuisine ς containing ingredient
+// i and N^ς the cuisine's recipe count. The metric is positive when the
+// ingredient appears in a larger proportion of the cuisine's recipes than
+// across all cuisines combined.
+package overrep
+
+import (
+	"fmt"
+	"sort"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+)
+
+// Analysis precomputes the global ingredient document frequencies of a
+// corpus so per-region scores are O(lexicon) each. Immutable after
+// construction; safe for concurrent use.
+type Analysis struct {
+	corpus       *recipe.Corpus
+	globalCounts []int
+	globalTotal  int
+}
+
+// New builds an Analysis over the corpus. The corpus must not be mutated
+// afterwards.
+func New(corpus *recipe.Corpus) *Analysis {
+	a := &Analysis{
+		corpus:       corpus,
+		globalCounts: corpus.AllView().IngredientRecipeCounts(),
+		globalTotal:  corpus.Len(),
+	}
+	return a
+}
+
+// Scores returns Eq 1 for every lexicon entity in the given region.
+// An error is returned for a region with no recipes.
+func (a *Analysis) Scores(region string) ([]float64, error) {
+	view := a.corpus.Region(region)
+	if view.Len() == 0 {
+		return nil, fmt.Errorf("overrep: region %q has no recipes", region)
+	}
+	regionCounts := view.IngredientRecipeCounts()
+	n := float64(view.Len())
+	g := float64(a.globalTotal)
+	out := make([]float64, len(regionCounts))
+	for id := range regionCounts {
+		out[id] = float64(regionCounts[id])/n - float64(a.globalCounts[id])/g
+	}
+	return out, nil
+}
+
+// Ranked pairs an ingredient with its overrepresentation score.
+type Ranked struct {
+	ID    ingredient.ID
+	Score float64
+}
+
+// TopK returns the region's k most overrepresented ingredients in
+// descending score order (ties broken by ascending ID for determinism).
+func (a *Analysis) TopK(region string, k int) ([]Ranked, error) {
+	scores, err := a.Scores(region)
+	if err != nil {
+		return nil, err
+	}
+	ranked := make([]Ranked, len(scores))
+	for id, s := range scores {
+		ranked[id] = Ranked{ID: ingredient.ID(id), Score: s}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k], nil
+}
+
+// TopKNames is TopK resolved to canonical ingredient names.
+func (a *Analysis) TopKNames(region string, k int) ([]string, error) {
+	top, err := a.TopK(region, k)
+	if err != nil {
+		return nil, err
+	}
+	lex := a.corpus.Lexicon()
+	out := make([]string, len(top))
+	for i, r := range top {
+		out[i] = lex.Name(r.ID)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package overrep
+
+import (
+	"math"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+)
+
+var lex = ingredient.Builtin()
+
+func id(name string) ingredient.ID { return lex.MustID(name) }
+
+// buildCorpus creates a corpus with exactly known document frequencies:
+//
+//	region A (4 recipes): tomato in 4, basil in 2, salt in 4
+//	region B (6 recipes): tomato in 1, salt in 6, cumin in 3
+func buildCorpus(t *testing.T) *recipe.Corpus {
+	t.Helper()
+	c := recipe.NewCorpus(lex)
+	add := func(region string, names ...string) {
+		ids := make([]ingredient.ID, len(names))
+		for i, n := range names {
+			ids[i] = id(n)
+		}
+		if err := c.Add(recipe.Recipe{Region: region, Ingredients: ids}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("A", "tomato", "basil", "salt")
+	add("A", "tomato", "basil", "salt")
+	add("A", "tomato", "salt")
+	add("A", "tomato", "salt")
+	add("B", "tomato", "salt")
+	add("B", "salt", "cumin")
+	add("B", "salt", "cumin")
+	add("B", "salt", "cumin")
+	add("B", "salt", "onion")
+	add("B", "salt", "onion")
+	return c
+}
+
+func TestScoresExactValues(t *testing.T) {
+	a := New(buildCorpus(t))
+	scores, err := a.Scores("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tomato: 4/4 - 5/10 = 0.5
+	if got := scores[id("tomato")]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("O(tomato|A) = %v, want 0.5", got)
+	}
+	// basil: 2/4 - 2/10 = 0.3
+	if got := scores[id("basil")]; math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("O(basil|A) = %v, want 0.3", got)
+	}
+	// salt: 4/4 - 10/10 = 0 (universal ingredients cancel)
+	if got := scores[id("salt")]; math.Abs(got) > 1e-12 {
+		t.Errorf("O(salt|A) = %v, want 0", got)
+	}
+	// cumin: 0/4 - 3/10 = -0.3 (used elsewhere, absent here)
+	if got := scores[id("cumin")]; math.Abs(got+0.3) > 1e-12 {
+		t.Errorf("O(cumin|A) = %v, want -0.3", got)
+	}
+	// unused ingredient: 0 everywhere
+	if got := scores[id("saffron")]; got != 0 {
+		t.Errorf("O(saffron|A) = %v, want 0", got)
+	}
+}
+
+func TestScoresComplementaryRegion(t *testing.T) {
+	a := New(buildCorpus(t))
+	scores, err := a.Scores("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tomato: 1/6 - 5/10
+	want := 1.0/6 - 0.5
+	if got := scores[id("tomato")]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("O(tomato|B) = %v, want %v", got, want)
+	}
+	// cumin: 3/6 - 3/10 = 0.2
+	if got := scores[id("cumin")]; math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("O(cumin|B) = %v, want 0.2", got)
+	}
+}
+
+func TestScoresSumProperty(t *testing.T) {
+	// For a corpus with a single region, every score is zero: the region
+	// IS the global distribution.
+	c := recipe.NewCorpus(lex)
+	for i := 0; i < 5; i++ {
+		if err := c.Add(recipe.Recipe{Region: "ONLY", Ingredients: []ingredient.ID{id("tomato"), id("salt")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scores, err := New(c).Scores("ONLY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if s != 0 {
+			t.Fatalf("single-region score for %s = %v, want 0", lex.Name(ingredient.ID(i)), s)
+		}
+	}
+}
+
+func TestScoresUnknownRegion(t *testing.T) {
+	a := New(buildCorpus(t))
+	if _, err := a.Scores("NOPE"); err == nil {
+		t.Fatal("unknown region must error")
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	a := New(buildCorpus(t))
+	top, err := a.TopK("A", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("TopK returned %d entries", len(top))
+	}
+	if top[0].ID != id("tomato") || top[1].ID != id("basil") {
+		t.Fatalf("TopK order wrong: %v %v", lex.Name(top[0].ID), lex.Name(top[1].ID))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Score < top[i].Score {
+			t.Fatal("TopK not descending")
+		}
+	}
+}
+
+func TestTopKNames(t *testing.T) {
+	a := New(buildCorpus(t))
+	names, err := a.TopKNames("B", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "cumin" {
+		t.Fatalf("TopKNames(B) = %v, want cumin first", names)
+	}
+}
+
+func TestTopKClampsToLexicon(t *testing.T) {
+	a := New(buildCorpus(t))
+	top, err := a.TopK("A", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != lex.Len() {
+		t.Fatalf("TopK clamped to %d, want %d", len(top), lex.Len())
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	a := New(buildCorpus(t))
+	t1, _ := a.TopK("A", 50)
+	t2, _ := a.TopK("A", 50)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("TopK not deterministic under ties")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette provides distinguishable series colors.
+var svgPalette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+	"#aec7e8", "#ffbb78", "#98df8a", "#ff9896", "#c5b0d5",
+	"#c49c94", "#f7b6d2", "#c7c7c7", "#dbdb8d", "#9edae5",
+	"#393b79", "#637939", "#8c6d31", "#843c39", "#7b4173",
+}
+
+// SVGChart renders multi-series line/scatter charts to SVG.
+type SVGChart struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int
+	LogX, LogY    bool
+	Lines         bool // connect points with polylines
+	Series        []Series
+}
+
+const (
+	marginLeft   = 70
+	marginRight  = 160
+	marginTop    = 40
+	marginBottom = 50
+)
+
+// WriteTo renders the chart as a standalone SVG document.
+func (c SVGChart) WriteTo(w io.Writer) (int64, error) {
+	width, height := c.Width, c.Height
+	if width < 200 {
+		width = 860
+	}
+	if height < 150 {
+		height = 520
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+			width/2, escape(c.Title))
+	}
+
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) (float64, bool) {
+		if c.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if c.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		// No drawable points: emit an empty chart with a note.
+		b.WriteString(`<text x="40" y="60" font-family="sans-serif" font-size="12">(no data)</text></svg>`)
+		n, err := io.WriteString(w, b.String())
+		return int64(n), err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(marginLeft) + (x-minX)/(maxX-minX)*float64(plotW) }
+	py := func(y float64) float64 { return float64(marginTop) + (1-(y-minY)/(maxY-minY))*float64(plotH) }
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+	// Ticks: 5 per axis, labeled in data space.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		xv, yv := fx, fy
+		if c.LogX {
+			xv = math.Pow(10, fx)
+		}
+		if c.LogY {
+			yv = math.Pow(10, fy)
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999"/>`+"\n",
+			px(fx), marginTop+plotH, px(fx), marginTop+plotH+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+			px(fx), marginTop+plotH+18, xv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#999"/>`+"\n",
+			marginLeft-5, py(fy), marginLeft, py(fy))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.3g</text>`+"\n",
+			marginLeft-8, py(fy)+4, yv)
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+plotW/2, height-10, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="18" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+			marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		if c.Lines {
+			var path strings.Builder
+			started := false
+			for i := range s.X {
+				x, okx := tx(s.X[i])
+				y, oky := ty(s.Y[i])
+				if !okx || !oky {
+					continue
+				}
+				cmd := "L"
+				if !started {
+					cmd = "M"
+					started = true
+				}
+				fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(x), py(y))
+			}
+			if started {
+				fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+					strings.TrimSpace(path.String()), color)
+			}
+		} else {
+			for i := range s.X {
+				x, okx := tx(s.X[i])
+				y, oky := ty(s.Y[i])
+				if !okx || !oky {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="%s"/>`+"\n", px(x), py(y), color)
+			}
+		}
+		// Legend entry.
+		ly := marginTop + 16*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			marginLeft+plotW+12, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft+plotW+26, ly+9, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// SVGBoxplots renders a labeled boxplot panel (one box per entry) to SVG.
+type SVGBoxplots struct {
+	Title         string
+	Width, Height int
+	Boxes         []BoxStats
+}
+
+// WriteTo renders the panel as a standalone SVG document.
+func (p SVGBoxplots) WriteTo(w io.Writer) (int64, error) {
+	width, height := p.Width, p.Height
+	if width < 200 {
+		width = 860
+	}
+	if height < 120 {
+		height = 40 + 26*len(p.Boxes) + 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if p.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			width/2, escape(p.Title))
+	}
+	if len(p.Boxes) == 0 {
+		b.WriteString(`<text x="40" y="60" font-family="sans-serif" font-size="12">(no data)</text></svg>`)
+		n, err := io.WriteString(w, b.String())
+		return int64(n), err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, bx := range p.Boxes {
+		lo = math.Min(lo, bx.WhiskLo)
+		hi = math.Max(hi, bx.WhiskHi)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	left, right := 110, width-30
+	px := func(v float64) float64 {
+		return float64(left) + (v-lo)/(hi-lo)*float64(right-left)
+	}
+	for i, bx := range p.Boxes {
+		y := 40 + 26*i
+		cy := float64(y) + 9
+		color := svgPalette[i%len(svgPalette)]
+		fmt.Fprintf(&b, `<text x="%d" y="%.0f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			left-8, cy+4, escape(bx.Label))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			px(bx.WhiskLo), cy, px(bx.Q1), cy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			px(bx.Q3), cy, px(bx.WhiskHi), cy)
+		for _, wv := range []float64{bx.WhiskLo, bx.WhiskHi} {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+				px(wv), cy-5, px(wv), cy+5)
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="18" fill="%s" fill-opacity="0.5" stroke="#333"/>`+"\n",
+			px(bx.Q1), cy-9, math.Max(1, px(bx.Q3)-px(bx.Q1)), color)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#000" stroke-width="2"/>`+"\n",
+			px(bx.Med), cy-9, px(bx.Med), cy+9)
+	}
+	axisY := 40 + 26*len(p.Boxes) + 10
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", left, axisY, right, axisY)
+	for i := 0; i <= 4; i++ {
+		v := lo + (hi-lo)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+			px(v), axisY+16, v)
+	}
+	b.WriteString("</svg>\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,452 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 64", same)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	s := New(0)
+	var zeros int
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero outputs", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must differ from both a fresh parent stream and the
+	// parent's continued stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if child.Uint64() == parent.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split child tracked parent on %d of 64 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(9).Split()
+	c2 := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("split is not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(13)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.08*want {
+			t.Fatalf("bucket %d count %d deviates from %v by more than 8%%", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestTruncNormIntBounds(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 10000; i++ {
+		v := s.TruncNormInt(9, 2.5, 2, 38)
+		if v < 2 || v > 38 {
+			t.Fatalf("TruncNormInt out of bounds: %d", v)
+		}
+	}
+}
+
+func TestTruncNormIntDegenerate(t *testing.T) {
+	s := New(19)
+	if v := s.TruncNormInt(9, 2.5, 4, 4); v != 4 {
+		t.Fatalf("lo==hi must return the bound, got %d", v)
+	}
+	// Mean far below the interval: rejection falls back to nearest bound.
+	if v := s.TruncNormInt(-1000, 0.001, 5, 10); v != 5 {
+		t.Fatalf("fallback should clamp to lo, got %d", v)
+	}
+	if v := s.TruncNormInt(1000, 0.001, 5, 10); v != 10 {
+		t.Fatalf("fallback should clamp to hi, got %d", v)
+	}
+}
+
+func TestTruncNormIntMean(t *testing.T) {
+	s := New(23)
+	const n = 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.TruncNormInt(9, 2.5, 2, 38)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-9) > 0.15 {
+		t.Fatalf("truncated normal mean = %v, want ~9", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) returned %d elements", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) is not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleIntsProperties(t *testing.T) {
+	s := New(31)
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		k := int(kRaw) % (n + 1)
+		out := s.SampleInts(n, k)
+		if len(out) != k {
+			return false
+		}
+		seen := make(map[int]struct{}, k)
+		for _, v := range out {
+			if v < 0 || v >= n {
+				return false
+			}
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleIntsFullRange(t *testing.T) {
+	s := New(37)
+	out := s.SampleInts(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range out {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("SampleInts(10,10) missing %d", i)
+		}
+	}
+}
+
+func TestSampleIntsUniformCoverage(t *testing.T) {
+	// Each element should appear in a k-of-n sample with probability k/n.
+	s := New(41)
+	const n, k, trials = 20, 5, 40000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range s.SampleInts(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.08*want {
+			t.Fatalf("element %d appeared %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestChoice(t *testing.T) {
+	s := New(43)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Choice(s, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Choice did not cover all elements: %v", seen)
+	}
+}
+
+func TestChoicePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice on empty slice did not panic")
+		}
+	}()
+	Choice(New(1), []int{})
+}
+
+func TestWeightedSamplerProportions(t *testing.T) {
+	s := New(47)
+	ws := NewWeightedSampler([]float64{1, 2, 3, 4})
+	const draws = 200000
+	counts := make([]float64, 4)
+	for i := 0; i < draws; i++ {
+		counts[ws.Draw(s)]++
+	}
+	for i, w := range []float64{1, 2, 3, 4} {
+		got := counts[i] / draws
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("weight %d: got frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedSamplerZeroWeightNeverDrawn(t *testing.T) {
+	s := New(53)
+	ws := NewWeightedSampler([]float64{0, 1, 0, 1})
+	for i := 0; i < 10000; i++ {
+		v := ws.Draw(s)
+		if v == 0 || v == 2 {
+			t.Fatalf("zero-weight index %d drawn", v)
+		}
+	}
+}
+
+func TestWeightedSamplerSingle(t *testing.T) {
+	s := New(59)
+	ws := NewWeightedSampler([]float64{5})
+	for i := 0; i < 100; i++ {
+		if ws.Draw(s) != 0 {
+			t.Fatal("single-category sampler returned nonzero")
+		}
+	}
+}
+
+func TestWeightedSamplerPanics(t *testing.T) {
+	cases := [][]float64{nil, {}, {0, 0}, {-1, 2}, {math.NaN()}, {math.Inf(1)}}
+	for _, ws := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewWeightedSampler(%v) did not panic", ws)
+				}
+			}()
+			NewWeightedSampler(ws)
+		}()
+	}
+}
+
+func TestDrawDistinctProperties(t *testing.T) {
+	s := New(61)
+	weights := make([]float64, 50)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	ws := NewWeightedSampler(weights)
+	f := func(kRaw uint8) bool {
+		k := int(kRaw) % 51
+		out := ws.DrawDistinct(s, k)
+		if len(out) != k {
+			return false
+		}
+		seen := make(map[int]struct{}, k)
+		for _, v := range out {
+			if v < 0 || v >= 50 {
+				return false
+			}
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrawDistinctFullSet(t *testing.T) {
+	// k == n forces the slow path; every index must appear exactly once,
+	// including zero-weight indices (without-replacement exhausts the set).
+	s := New(67)
+	ws := NewWeightedSampler([]float64{1, 0, 3, 2, 0, 5})
+	out := ws.DrawDistinct(s, 6)
+	seen := make([]bool, 6)
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("duplicate index %d in full draw", v)
+		}
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d missing from full draw", i)
+		}
+	}
+}
+
+func TestDrawDistinctSkewBias(t *testing.T) {
+	// Heavily skewed weights: the top-weight element should appear in
+	// nearly every without-replacement sample of size 3.
+	s := New(71)
+	ws := NewWeightedSampler([]float64{100, 1, 1, 1, 1, 1, 1, 1})
+	const trials = 5000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		for _, v := range ws.DrawDistinct(s, 3) {
+			if v == 0 {
+				hits++
+				break
+			}
+		}
+	}
+	if frac := float64(hits) / trials; frac < 0.95 {
+		t.Fatalf("dominant element present in only %v of samples", frac)
+	}
+}
+
+func TestShuffleSwapCount(t *testing.T) {
+	s := New(73)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), xs...)
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	for _, v := range orig {
+		if !seen[v] {
+			t.Fatalf("Shuffle lost element %d", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkWeightedDraw(b *testing.B) {
+	s := New(1)
+	weights := make([]float64, 721)
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+	}
+	ws := NewWeightedSampler(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ws.Draw(s)
+	}
+}
+
+func BenchmarkDrawDistinct9of721(b *testing.B) {
+	s := New(1)
+	weights := make([]float64, 721)
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+	}
+	ws := NewWeightedSampler(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ws.DrawDistinct(s, 9)
+	}
+}

@@ -1,0 +1,121 @@
+package rankfreq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cuisinevol/internal/randx"
+)
+
+// randomDist builds a valid (non-increasing, [0,1]) distribution.
+func randomDist(src *randx.Source, maxLen int) Distribution {
+	n := 1 + src.Intn(maxLen)
+	freqs := make([]float64, n)
+	for i := range freqs {
+		freqs[i] = src.Float64()
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(freqs)))
+	return Distribution{Label: "r", Freqs: freqs}
+}
+
+func TestPaperMAEProperties(t *testing.T) {
+	src := randx.New(21)
+	f := func(seed uint16) bool {
+		a := randomDist(src, 50)
+		b := randomDist(src, 50)
+		dab, err1 := PaperMAE(a, b)
+		dba, err2 := PaperMAE(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Symmetry, non-negativity, identity.
+		if dab != dba || dab < 0 {
+			return false
+		}
+		self, err := PaperMAE(a, a)
+		return err == nil && self == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrueMAEDominatedBySupDiff(t *testing.T) {
+	// |f_a - f_b| <= 1 everywhere, so both metrics are bounded by 1.
+	src := randx.New(23)
+	for i := 0; i < 100; i++ {
+		a := randomDist(src, 30)
+		b := randomDist(src, 30)
+		m, err := TrueMAE(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m < 0 || m > 1 {
+			t.Fatalf("TrueMAE out of [0,1]: %v", m)
+		}
+		s, err := PaperMAE(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Squared errors of values in [0,1] never exceed absolute errors.
+		if s > m+1e-12 {
+			t.Fatalf("PaperMAE %v exceeds TrueMAE %v", s, m)
+		}
+	}
+}
+
+func TestAggregateIdempotentOnSingle(t *testing.T) {
+	src := randx.New(29)
+	for i := 0; i < 50; i++ {
+		d := randomDist(src, 40)
+		agg := Aggregate([]Distribution{d})
+		if agg.Len() != d.Len() {
+			t.Fatal("single-replicate aggregate changed length")
+		}
+		for r := range d.Freqs {
+			if agg.Freqs[r] != d.Freqs[r] {
+				t.Fatal("single-replicate aggregate changed values")
+			}
+		}
+	}
+}
+
+func TestAggregateAlwaysValid(t *testing.T) {
+	src := randx.New(31)
+	for i := 0; i < 100; i++ {
+		reps := make([]Distribution, 1+src.Intn(8))
+		for j := range reps {
+			reps[j] = randomDist(src, 40)
+		}
+		if err := Aggregate(reps).Validate(); err != nil {
+			t.Fatalf("aggregate invalid: %v", err)
+		}
+	}
+}
+
+func TestPairwiseMatrixProperties(t *testing.T) {
+	src := randx.New(37)
+	dists := make([]Distribution, 6)
+	for i := range dists {
+		dists[i] = randomDist(src, 25)
+		dists[i].Label = string(rune('a' + i))
+	}
+	m, err := Pairwise(dists, PaperMAE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.D {
+		if m.D[i][i] != 0 {
+			t.Fatal("diagonal not zero")
+		}
+		for j := range m.D {
+			if m.D[i][j] != m.D[j][i] {
+				t.Fatal("matrix not symmetric")
+			}
+			if m.D[i][j] < 0 {
+				t.Fatal("negative distance")
+			}
+		}
+	}
+}

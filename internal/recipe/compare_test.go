@@ -1,0 +1,78 @@
+package recipe
+
+import (
+	"math"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+)
+
+func TestCompareIdenticalCorpus(t *testing.T) {
+	c := sampleCorpus(t)
+	cmp := Compare(c, c)
+	if cmp.RecipesA != cmp.RecipesB || cmp.RecipesA != c.Len() {
+		t.Fatalf("recipe counts: %+v", cmp)
+	}
+	if len(cmp.RegionsOnlyA) != 0 || len(cmp.RegionsOnlyB) != 0 {
+		t.Fatal("self-comparison has exclusive regions")
+	}
+	for _, rc := range cmp.PerRegion {
+		if math.Abs(rc.UsageCorrelation-1) > 1e-12 {
+			t.Fatalf("%s self-correlation = %v", rc.Region, rc.UsageCorrelation)
+		}
+		if rc.UsageTV != 0 {
+			t.Fatalf("%s self-TV = %v", rc.Region, rc.UsageTV)
+		}
+		if rc.MeanSizeA != rc.MeanSizeB {
+			t.Fatal("mean sizes differ in self-comparison")
+		}
+	}
+	if !cmp.Identical(1e-12) {
+		t.Fatal("self-comparison not identical")
+	}
+}
+
+func TestCompareExclusiveRegions(t *testing.T) {
+	a := sampleCorpus(t) // ITA, JPN
+	b := NewCorpus(lex)
+	if err := b.Add(Recipe{Region: "ITA", Ingredients: []ingredient.ID{id("tomato"), id("basil")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Recipe{Region: "FRA", Ingredients: []ingredient.ID{id("butter"), id("cream")}}); err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(a, b)
+	if len(cmp.RegionsOnlyA) != 1 || cmp.RegionsOnlyA[0] != "JPN" {
+		t.Fatalf("RegionsOnlyA = %v", cmp.RegionsOnlyA)
+	}
+	if len(cmp.RegionsOnlyB) != 1 || cmp.RegionsOnlyB[0] != "FRA" {
+		t.Fatalf("RegionsOnlyB = %v", cmp.RegionsOnlyB)
+	}
+	if len(cmp.PerRegion) != 1 || cmp.PerRegion[0].Region != "ITA" {
+		t.Fatalf("PerRegion = %+v", cmp.PerRegion)
+	}
+	if cmp.Identical(1) {
+		t.Fatal("corpora with exclusive regions cannot be identical")
+	}
+}
+
+func TestCompareDivergentUsage(t *testing.T) {
+	a := NewCorpus(lex)
+	b := NewCorpus(lex)
+	for i := 0; i < 10; i++ {
+		if err := a.Add(Recipe{Region: "X", Ingredients: []ingredient.ID{id("tomato"), id("basil")}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(Recipe{Region: "X", Ingredients: []ingredient.ID{id("butter"), id("cream")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmp := Compare(a, b)
+	rc := cmp.PerRegion[0]
+	if rc.UsageTV != 1 {
+		t.Fatalf("disjoint usage TV = %v, want 1", rc.UsageTV)
+	}
+	if rc.UsageCorrelation > 0 {
+		t.Fatalf("disjoint usage correlation = %v", rc.UsageCorrelation)
+	}
+}

@@ -1,0 +1,171 @@
+package recipe
+
+import (
+	"sort"
+
+	"cuisinevol/internal/ingredient"
+)
+
+// Index is an inverted index over a corpus: for every ingredient, the
+// sorted posting list of recipe IDs containing it. It supports the
+// conjunctive/disjunctive queries and co-occurrence statistics the
+// analyses and the CLI search command use. Build once with NewIndex;
+// immutable afterwards and safe for concurrent reads.
+type Index struct {
+	corpus   *Corpus
+	postings [][]int32 // by ingredient ID; ascending recipe IDs
+}
+
+// NewIndex builds the inverted index for the corpus's current contents.
+func NewIndex(c *Corpus) *Index {
+	ix := &Index{corpus: c, postings: make([][]int32, c.lex.Len())}
+	for _, r := range c.recipes {
+		for _, id := range r.Ingredients {
+			ix.postings[id] = append(ix.postings[id], int32(r.ID))
+		}
+	}
+	return ix
+}
+
+// Corpus returns the indexed corpus.
+func (ix *Index) Corpus() *Corpus { return ix.corpus }
+
+// DocFreq returns the number of recipes containing the ingredient.
+func (ix *Index) DocFreq(id ingredient.ID) int { return len(ix.postings[id]) }
+
+// Postings returns the recipe IDs containing the ingredient, ascending.
+// The returned slice is shared; callers must not modify it.
+func (ix *Index) Postings(id ingredient.ID) []int32 { return ix.postings[id] }
+
+// ContainingAll returns the IDs of recipes containing every given
+// ingredient, ascending. Duplicated query ingredients are allowed; an
+// empty query returns nil.
+func (ix *Index) ContainingAll(ids ...ingredient.ID) []int32 {
+	if len(ids) == 0 {
+		return nil
+	}
+	// Intersect smallest-first to keep the working set minimal.
+	lists := make([][]int32, len(ids))
+	for i, id := range ids {
+		lists[i] = ix.postings[id]
+	}
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	acc := append([]int32(nil), lists[0]...)
+	for _, list := range lists[1:] {
+		acc = intersect(acc, list)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	return acc
+}
+
+// ContainingAny returns the IDs of recipes containing at least one of
+// the given ingredients, ascending and duplicate-free.
+func (ix *Index) ContainingAny(ids ...ingredient.ID) []int32 {
+	var acc []int32
+	for _, id := range ids {
+		acc = union(acc, ix.postings[id])
+	}
+	return acc
+}
+
+// Cooccurrence returns the number of recipes containing both
+// ingredients.
+func (ix *Index) Cooccurrence(a, b ingredient.ID) int {
+	return len(intersect(ix.postings[a], ix.postings[b]))
+}
+
+// Jaccard returns the Jaccard similarity of two ingredients' recipe
+// sets: |A∩B| / |A∪B|. Zero when both are unused.
+func (ix *Index) Jaccard(a, b ingredient.ID) float64 {
+	inter := ix.Cooccurrence(a, b)
+	un := len(ix.postings[a]) + len(ix.postings[b]) - inter
+	if un == 0 {
+		return 0
+	}
+	return float64(inter) / float64(un)
+}
+
+// Cooccurrent pairs an ingredient with a co-occurrence count.
+type Cooccurrent struct {
+	ID    ingredient.ID
+	Count int
+}
+
+// TopCooccurring returns the k ingredients most frequently co-occurring
+// with id (excluding id itself), by descending count with ascending-ID
+// ties.
+func (ix *Index) TopCooccurring(id ingredient.ID, k int) []Cooccurrent {
+	counts := make(map[ingredient.ID]int)
+	for _, rid := range ix.postings[id] {
+		for _, other := range ix.corpus.recipes[rid].Ingredients {
+			if other != id {
+				counts[other]++
+			}
+		}
+	}
+	out := make([]Cooccurrent, 0, len(counts))
+	for oid, c := range counts {
+		out = append(out, Cooccurrent{ID: oid, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// intersect merges two ascending lists into their intersection.
+func intersect(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// union merges two ascending lists into their duplicate-free union.
+func union(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

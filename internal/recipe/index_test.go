@@ -1,0 +1,202 @@
+package recipe
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/randx"
+)
+
+func indexedCorpus(t *testing.T) (*Corpus, *Index) {
+	t.Helper()
+	c := sampleCorpus(t)
+	return c, NewIndex(c)
+}
+
+func TestIndexPostings(t *testing.T) {
+	_, ix := indexedCorpus(t)
+	tomato := id("tomato")
+	if got := ix.Postings(tomato); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("postings(tomato) = %v", got)
+	}
+	if ix.DocFreq(tomato) != 2 || ix.DocFreq(id("salt")) != 0 {
+		t.Fatal("DocFreq wrong")
+	}
+}
+
+func TestContainingAll(t *testing.T) {
+	_, ix := indexedCorpus(t)
+	got := ix.ContainingAll(id("tomato"), id("basil"))
+	if !reflect.DeepEqual(got, []int32{0}) {
+		t.Fatalf("ContainingAll = %v", got)
+	}
+	if got := ix.ContainingAll(id("tomato"), id("soybean sauce")); got != nil {
+		t.Fatalf("disjoint query = %v, want nil", got)
+	}
+	if got := ix.ContainingAll(); got != nil {
+		t.Fatal("empty query must return nil")
+	}
+	// Single-ingredient query equals the posting list.
+	if got := ix.ContainingAll(id("tomato")); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("single query = %v", got)
+	}
+}
+
+func TestContainingAny(t *testing.T) {
+	_, ix := indexedCorpus(t)
+	got := ix.ContainingAny(id("basil"), id("soybean sauce"))
+	if !reflect.DeepEqual(got, []int32{0, 3, 4}) {
+		t.Fatalf("ContainingAny = %v", got)
+	}
+	if got := ix.ContainingAny(); got != nil {
+		t.Fatal("empty any-query must return nil")
+	}
+}
+
+func TestCooccurrenceAndJaccard(t *testing.T) {
+	_, ix := indexedCorpus(t)
+	if got := ix.Cooccurrence(id("tomato"), id("basil")); got != 1 {
+		t.Fatalf("cooccurrence = %d", got)
+	}
+	// tomato in {0,1}, basil in {0}: J = 1/2.
+	if got := ix.Jaccard(id("tomato"), id("basil")); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("jaccard = %v", got)
+	}
+	if got := ix.Jaccard(id("salt"), id("saffron")); got != 0 {
+		t.Fatalf("unused ingredients jaccard = %v", got)
+	}
+	if got := ix.Jaccard(id("tomato"), id("tomato")); got != 1 {
+		t.Fatalf("self jaccard = %v", got)
+	}
+}
+
+func TestTopCooccurring(t *testing.T) {
+	_, ix := indexedCorpus(t)
+	top := ix.TopCooccurring(id("tomato"), 3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Count < top[i].Count {
+			t.Fatal("not descending")
+		}
+	}
+	for _, c := range top {
+		if c.ID == id("tomato") {
+			t.Fatal("self included")
+		}
+	}
+	// Clamping.
+	if got := ix.TopCooccurring(id("tomato"), 1000); len(got) == 0 {
+		t.Fatal("clamped query empty")
+	}
+	if got := ix.TopCooccurring(id("salt"), 5); len(got) != 0 {
+		t.Fatalf("unused ingredient co-occurrences = %v", got)
+	}
+}
+
+// TestIndexAgainstBruteForce cross-checks queries against linear scans
+// on a random corpus.
+func TestIndexAgainstBruteForce(t *testing.T) {
+	src := randx.New(17)
+	c := NewCorpus(lex)
+	ids := lex.IDs()[:40]
+	for i := 0; i < 300; i++ {
+		picks := src.SampleInts(40, 2+src.Intn(6))
+		rcp := make([]ingredient.ID, len(picks))
+		for j, p := range picks {
+			rcp[j] = ids[p]
+		}
+		if err := c.Add(Recipe{Region: "X", Ingredients: rcp}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := NewIndex(c)
+	for trial := 0; trial < 50; trial++ {
+		q := make([]ingredient.ID, 1+src.Intn(3))
+		for j := range q {
+			q[j] = ids[src.Intn(40)]
+		}
+		var wantAll, wantAny []int32
+		for rid := 0; rid < c.Len(); rid++ {
+			r := c.Get(rid)
+			all, any := true, false
+			for _, want := range q {
+				if r.HasIngredient(want) {
+					any = true
+				} else {
+					all = false
+				}
+			}
+			if all {
+				wantAll = append(wantAll, int32(rid))
+			}
+			if any {
+				wantAny = append(wantAny, int32(rid))
+			}
+		}
+		gotAll := ix.ContainingAll(q...)
+		gotAny := ix.ContainingAny(q...)
+		if !reflect.DeepEqual(gotAll, wantAll) {
+			t.Fatalf("ContainingAll(%v) = %v, want %v", q, gotAll, wantAll)
+		}
+		if !reflect.DeepEqual(gotAny, wantAny) {
+			t.Fatalf("ContainingAny(%v) = %v, want %v", q, gotAny, wantAny)
+		}
+	}
+}
+
+func TestIntersectUnionEdge(t *testing.T) {
+	if got := intersect(nil, []int32{1}); len(got) != 0 {
+		t.Fatal("intersect with nil")
+	}
+	if got := union(nil, []int32{1, 2}); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("union with nil = %v", got)
+	}
+	if got := union([]int32{1, 3}, []int32{2, 3, 4}); !reflect.DeepEqual(got, []int32{1, 2, 3, 4}) {
+		t.Fatalf("union = %v", got)
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	src := randx.New(1)
+	c := NewCorpus(lex)
+	ids := lex.IDs()
+	for i := 0; i < 5000; i++ {
+		picks := src.SampleInts(400, 9)
+		rcp := make([]ingredient.ID, len(picks))
+		for j, p := range picks {
+			rcp[j] = ids[p]
+		}
+		if err := c.Add(Recipe{Region: "X", Ingredients: rcp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewIndex(c)
+	}
+}
+
+func BenchmarkIndexConjunctiveQuery(b *testing.B) {
+	src := randx.New(1)
+	c := NewCorpus(lex)
+	ids := lex.IDs()
+	for i := 0; i < 5000; i++ {
+		picks := src.SampleInts(100, 9)
+		rcp := make([]ingredient.ID, len(picks))
+		for j, p := range picks {
+			rcp[j] = ids[p]
+		}
+		if err := c.Add(Recipe{Region: "X", Ingredients: rcp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ix := NewIndex(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.ContainingAll(ids[0], ids[1], ids[2])
+	}
+}

@@ -1,0 +1,111 @@
+package recipe
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cuisinevol/internal/ingredient"
+)
+
+// WriteJSONL streams the corpus as JSON Lines: one recipe object per line.
+// The format is stable and diff-friendly, suitable for large corpora.
+func (c *Corpus) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range c.recipes {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("recipe: encoding recipe %d: %w", r.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a JSON Lines corpus written by WriteJSONL. Recipes are
+// re-validated against lex and re-assigned dense IDs in input order.
+func ReadJSONL(r io.Reader, lex *ingredient.Lexicon) (*Corpus, error) {
+	c := NewCorpus(lex)
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for line := 0; ; line++ {
+		var rec Recipe
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("recipe: line %d: %w", line+1, err)
+		}
+		if err := c.Add(rec); err != nil {
+			return nil, fmt.Errorf("recipe: line %d: %w", line+1, err)
+		}
+	}
+	return c, nil
+}
+
+// WriteCSV writes the corpus in a human-readable CSV format with header
+// "id,region,continent,name,ingredients", ingredients joined by '|' as
+// canonical names.
+func (c *Corpus) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "region", "continent", "name", "ingredients"}); err != nil {
+		return err
+	}
+	for _, r := range c.recipes {
+		names := make([]string, len(r.Ingredients))
+		for i, id := range r.Ingredients {
+			names[i] = c.lex.Name(id)
+		}
+		rec := []string{
+			strconv.Itoa(r.ID), r.Region, r.Continent, r.Name,
+			strings.Join(names, "|"),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a corpus written by WriteCSV, resolving ingredient names
+// through the lexicon's exact lookup.
+func ReadCSV(r io.Reader, lex *ingredient.Lexicon) (*Corpus, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("recipe: reading CSV header: %w", err)
+	}
+	if len(header) != 5 || header[0] != "id" {
+		return nil, fmt.Errorf("recipe: unexpected CSV header %v", header)
+	}
+	c := NewCorpus(lex)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("recipe: line %d: %w", line, err)
+		}
+		var ids []ingredient.ID
+		for _, name := range strings.Split(rec[4], "|") {
+			id, ok := lex.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("recipe: line %d: unknown ingredient %q", line, name)
+			}
+			ids = append(ids, id)
+		}
+		if err := c.Add(Recipe{
+			Region:      rec[1],
+			Continent:   rec[2],
+			Name:        rec[3],
+			Ingredients: ids,
+		}); err != nil {
+			return nil, fmt.Errorf("recipe: line %d: %w", line, err)
+		}
+	}
+	return c, nil
+}

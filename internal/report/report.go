@@ -1,0 +1,180 @@
+// Package report renders tabular results as aligned plain text, GitHub
+// markdown, and CSV — the output formats of the experiment harness and
+// CLI.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-oriented table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v (floats with
+// Float for formatted precision).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'g', 5, 64)
+		case float32:
+			row[i] = strconv.FormatFloat(float64(v), 'g', 5, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Float formats a float at fixed precision for table cells.
+func Float(v float64, prec int) string {
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}
+
+// widths returns the display width of each column.
+func (t *Table) widths() []int {
+	n := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// WriteText renders the table as aligned plain text.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := t.widths()
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, wd := range widths {
+			total += wd + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMarkdown renders the table as GitHub-flavored markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (headers first, no title row).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the table as plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteText(&b)
+	return b.String()
+}
+
+// WriteSeriesCSV writes a labeled set of float series as long-form CSV
+// rows: label,index,value. Useful for importing rank-frequency series
+// into external tools.
+func WriteSeriesCSV(w io.Writer, series map[string][]float64, labelHeader, indexHeader, valueHeader string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{labelHeader, indexHeader, valueHeader}); err != nil {
+		return err
+	}
+	labels := make([]string, 0, len(series))
+	for l := range series {
+		labels = append(labels, l)
+	}
+	sortStrings(labels)
+	for _, l := range labels {
+		for i, v := range series[l] {
+			if err := cw.Write([]string{l, strconv.Itoa(i + 1), strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Demo", "Region", "Recipes", "MAE")
+	t.AddRow("ITA", 23179, 0.035)
+	t.AddRow("KOR", 1228, Float(0.0521234, 3))
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "Region", "ITA", "23179", "0.052"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns must align: "Recipes" and the numbers start at the same offset.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "Recipes") != strings.Index(row, "23179") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### Demo") {
+		t.Fatal("markdown title missing")
+	}
+	if !strings.Contains(out, "| Region | Recipes | MAE |") {
+		t.Fatalf("markdown header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Fatal("markdown separator missing")
+	}
+	if !strings.Contains(out, "| ITA | 23179 |") {
+		t.Fatal("markdown row missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV rows = %d", len(lines))
+	}
+	if lines[0] != "Region,Recipes,MAE" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c", "d")
+	tbl.AddRow("s", 42, 3.14159265, float32(2.5))
+	row := tbl.Rows[0]
+	if row[0] != "s" || row[1] != "42" {
+		t.Fatalf("row = %v", row)
+	}
+	if !strings.HasPrefix(row[2], "3.141") {
+		t.Fatalf("float formatting = %q", row[2])
+	}
+	if row[3] != "2.5" {
+		t.Fatalf("float32 formatting = %q", row[3])
+	}
+}
+
+func TestFloat(t *testing.T) {
+	if Float(0.03549, 3) != "0.035" {
+		t.Fatalf("Float = %q", Float(0.03549, 3))
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if !strings.Contains(sample().String(), "ITA") {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "x")
+	tbl.AddRow(1)
+	out := tbl.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("no-title table must not start with a blank line")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("only")
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, map[string][]float64{
+		"b": {0.1},
+		"a": {0.5, 0.4},
+	}, "cuisine", "rank", "freq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		"cuisine,rank,freq",
+		"a,1,0.5",
+		"a,2,0.4",
+		"b,1,0.1",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}

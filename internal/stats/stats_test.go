@@ -1,0 +1,406 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cuisinevol/internal/randx"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{nil, math.NaN()},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// population variance 4; sample variance 4 * 8/7
+	want := 4.0 * 8 / 7
+	if got := Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of a single point must be NaN")
+	}
+}
+
+func TestSummarizeMoments(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad basic summary: %+v", s)
+	}
+	if !almostEq(s.Variance, 2.5, 1e-12) {
+		t.Fatalf("variance = %v, want 2.5", s.Variance)
+	}
+	if !almostEq(s.Skewness, 0, 1e-12) {
+		t.Fatalf("symmetric sample skewness = %v, want 0", s.Skewness)
+	}
+}
+
+func TestSummarizeSkewed(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 10}
+	if s := Summarize(xs); s.Skewness <= 0 {
+		t.Fatalf("right-tailed sample should have positive skewness, got %v", s.Skewness)
+	}
+}
+
+func TestSummarizeEmptyAndConstant(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	c := Summarize([]float64{3, 3, 3, 3})
+	if c.Variance != 0 || !math.IsNaN(c.Skewness) {
+		t.Fatalf("constant sample: %+v", c)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Fatal("invalid quantile inputs must yield NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	b, err := NewBoxplot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 10 || b.Min != 1 || b.Max != 100 {
+		t.Fatalf("bad extremes: %+v", b)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("expected 100 to be the only outlier, got %v", b.Outliers)
+	}
+	if b.WhiskHi != 9 || b.WhiskLo != 1 {
+		t.Fatalf("whiskers = [%v, %v], want [1, 9]", b.WhiskLo, b.WhiskHi)
+	}
+	if b.Q1 > b.Med || b.Med > b.Q3 {
+		t.Fatalf("quartile ordering violated: %+v", b)
+	}
+}
+
+func TestBoxplotEmpty(t *testing.T) {
+	if _, err := NewBoxplot(nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestBoxplotQuartileInvariant(t *testing.T) {
+	src := randx.New(5)
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Float64() * 100
+		}
+		b, err := NewBoxplot(xs)
+		if err != nil {
+			return false
+		}
+		return b.Min <= b.Q1 && b.Q1 <= b.Med && b.Med <= b.Q3 && b.Q3 <= b.Max &&
+			b.WhiskLo <= b.WhiskHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 9.99, 10, -1, 11}
+	h, err := NewHistogram(xs, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 7 {
+		t.Fatalf("binned %d observations, want 7 (out-of-range dropped)", h.N)
+	}
+	// width 2: [0,2) -> {0,0.5,1,1.5}, [2,4) -> {2}, last bin gets 9.99 and 10.
+	if h.Counts[0] != 4 || h.Counts[1] != 1 || h.Counts[4] != 2 {
+		t.Fatalf("bad bin counts: %v", h.Counts)
+	}
+	d := h.Density()
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Fatalf("density sums to %v", sum)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 10, 0); err == nil {
+		t.Fatal("zero bins must error")
+	}
+	if _, err := NewHistogram(nil, 5, 5, 3); err == nil {
+		t.Fatal("empty range must error")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(nil, 0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Fatalf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestCountHistogram(t *testing.T) {
+	counts := CountHistogram([]int{2, 2, 3, 38, 39, -1}, 38)
+	if counts[2] != 2 || counts[3] != 1 || counts[38] != 1 {
+		t.Fatalf("bad counts: %v", counts[:5])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("out-of-range values must be dropped; total = %d", total)
+	}
+}
+
+func TestNormalPDFCDF(t *testing.T) {
+	if got := NormalPDF(0, 0, 1); !almostEq(got, 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Fatalf("standard normal pdf at 0 = %v", got)
+	}
+	if got := NormalCDF(0, 0, 1); !almostEq(got, 0.5, 1e-12) {
+		t.Fatalf("standard normal cdf at 0 = %v", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); !almostEq(got, 0.975, 1e-3) {
+		t.Fatalf("cdf(1.96) = %v, want ~0.975", got)
+	}
+	if !math.IsNaN(NormalPDF(0, 0, 0)) {
+		t.Fatal("zero stddev must yield NaN")
+	}
+}
+
+func TestKSNormalAcceptsNormal(t *testing.T) {
+	src := randx.New(101)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = src.NormAt(9, 2.5)
+	}
+	d, p := KSTestNormal(xs, 9, 2.5)
+	if d > 0.05 {
+		t.Fatalf("KS statistic %v too large for a true normal sample", d)
+	}
+	if p < 0.01 {
+		t.Fatalf("KS p-value %v rejects a true normal sample", p)
+	}
+}
+
+func TestKSNormalRejectsUniform(t *testing.T) {
+	src := randx.New(103)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = src.Float64() * 20
+	}
+	_, p := KSTestNormal(xs, 10, 5.7)
+	if p > 0.01 {
+		t.Fatalf("KS p-value %v fails to reject a uniform sample", p)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	obs := []int{10, 20, 30}
+	exp := []float64{15, 15, 30}
+	stat, df, err := ChiSquare(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 25.0/15 + 25.0/15
+	if !almostEq(stat, want, 1e-12) || df != 2 {
+		t.Fatalf("chi2 = %v df = %d, want %v df 2", stat, df, want)
+	}
+	if _, _, err := ChiSquare([]int{1}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	if !math.IsNaN(Pearson(xs, []float64{1, 1, 1, 1})) {
+		t.Fatal("zero-variance input must yield NaN")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if got := Spearman(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("monotone Spearman = %v, want 1", got)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestFitLinear(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Intercept, 1, 1e-12) || !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if _, err := FitLinear([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("degenerate x must error")
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		x := float64(i + 1)
+		xs[i] = x
+		ys[i] = 3 * math.Pow(x, -1.5)
+	}
+	alpha, c, r2, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(alpha, -1.5, 1e-9) || !almostEq(c, 3, 1e-9) || !almostEq(r2, 1, 1e-9) {
+		t.Fatalf("power-law fit alpha=%v c=%v r2=%v", alpha, c, r2)
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, 1, 2, 4}
+	ys := []float64{5, 1, 0.5, 0.25}
+	if _, _, _, err := FitPowerLaw(xs, ys); err != nil {
+		t.Fatalf("non-positive points should be skipped, got error %v", err)
+	}
+}
+
+func TestMAEAndMSE(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 2, 5}
+	if got := MAE(a, b); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if got := MSE(a, b); !almostEq(got, 5.0/3, 1e-12) {
+		t.Fatalf("MSE = %v, want 5/3", got)
+	}
+	// Truncation to the shorter series (Eq 2's r = lowest shared rank).
+	if got := MSE([]float64{1, 2}, []float64{1, 2, 100}); got != 0 {
+		t.Fatalf("truncated MSE = %v, want 0", got)
+	}
+	if !math.IsNaN(MAE(nil, nil)) {
+		t.Fatal("empty MAE must be NaN")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	src := randx.New(107)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.NormAt(10, 2)
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 400, 0.95, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("95%% CI [%v, %v] does not cover the true mean", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Fatalf("CI [%v, %v] implausibly wide for n=500", lo, hi)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	src := randx.New(1)
+	if _, _, err := BootstrapCI(nil, Mean, 10, 0.95, src); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, _, err := BootstrapCI([]float64{1}, Mean, 0, 0.95, src); err == nil {
+		t.Fatal("b=0 must error")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, Mean, 10, 1.5, src); err == nil {
+		t.Fatal("conf out of range must error")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	// Larger statistics must never yield larger p-values.
+	prev := 1.0
+	for d := 0.01; d < 0.5; d += 0.01 {
+		p := ksPValue(d, 100)
+		if p > prev+1e-12 {
+			t.Fatalf("ksPValue not monotone at d=%v: %v > %v", d, p, prev)
+		}
+		prev = p
+	}
+}

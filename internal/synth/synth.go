@@ -1,0 +1,348 @@
+// Package synth generates the synthetic recipe corpus that substitutes
+// for the paper's 158,544 scraped recipes (which are not redistributable).
+// The generator is calibrated to reproduce every statistical signature the
+// downstream analyses consume:
+//
+//   - per-region recipe counts and unique-ingredient counts (Table I);
+//   - per-region top-5 overrepresented ingredients (Table I, via strong
+//     region-specific preference boosts);
+//   - truncated-Gaussian recipe sizes in [2, 38] with mean ≈ 9 (Fig 1);
+//   - Zipf-like ingredient rank-frequency with cuisine-specific
+//     permutations (the invariant pattern of §IV);
+//   - category-usage contrasts between cuisines (Fig 2, via the
+//     category-bias profiles embedded in package cuisine).
+//
+// Recipes are drawn independently (weighted sampling without
+// replacement), NOT by the copy-mutate processes under test in package
+// evomodel, so the Fig 4 model comparison is not circular at the
+// implementation level.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cuisinevol/internal/cuisine"
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/randx"
+	"cuisinevol/internal/recipe"
+)
+
+// Config parameterizes corpus generation. The zero value is not usable;
+// call DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical corpora.
+	Seed uint64
+	// Lexicon is the ingredient space (default: ingredient.Builtin()).
+	Lexicon *ingredient.Lexicon
+	// Regions to generate (default: all 25 from Table I).
+	Regions []cuisine.Region
+	// RecipeScale scales every region's recipe count; use < 1 for fast
+	// tests. Counts are rounded and clamped to at least 8.
+	RecipeScale float64
+	// ZipfExponent shapes the global ingredient popularity (default 1.0).
+	ZipfExponent float64
+	// OverrepBoost pins the sampling weight of a region's Table I
+	// overrepresented ingredients to OverrepBoost × the region's maximum
+	// base weight, decaying by 0.88 per list position so the listed order
+	// is preserved in expectation (default 1.35). Pinning (rather than
+	// multiplying) is what lets a globally rare ingredient such as rum
+	// dominate its home cuisine, as Eq 1 requires.
+	OverrepBoost float64
+	// JitterSD is the standard deviation of the log-normal per-region
+	// weight jitter that differentiates cuisines beyond their boosted
+	// ingredients (default 0.6).
+	JitterSD float64
+	// SizeTailProb is the probability that a recipe's size is drawn from
+	// a uniform heavy tail reaching MaxRecipeSize instead of the
+	// truncated Gaussian (default 0.015). Real recipe collections carry
+	// a sparse tail of very large recipes up to the paper's observed
+	// maximum of 38; a pure Gaussian with SD ≈ 3 would never reach it.
+	SizeTailProb float64
+	// EnsureCoverage forces every vocabulary ingredient to appear in at
+	// least one recipe, matching the region's unique-ingredient target
+	// exactly (default true; real corpora have singleton ingredients).
+	EnsureCoverage bool
+}
+
+// DefaultConfig returns the calibrated generator configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:           seed,
+		Lexicon:        ingredient.Builtin(),
+		Regions:        cuisine.All(),
+		RecipeScale:    1.0,
+		ZipfExponent:   1.0,
+		OverrepBoost:   1.35,
+		JitterSD:       0.6,
+		SizeTailProb:   0.015,
+		EnsureCoverage: true,
+	}
+}
+
+// staples are near-universal ingredients pinned to the top of the global
+// popularity order; they anchor the shared head of every cuisine's
+// rank-frequency distribution (the paper's invariant pattern) while the
+// overrepresentation metric cancels them out across regions.
+var staples = []string{
+	"salt", "onion", "garlic", "butter", "sugar", "flour", "egg",
+	"olive oil", "water", "black pepper", "milk", "tomato", "vegetable oil",
+	"lemon juice", "cream", "chicken", "ginger", "carrot", "celery",
+	"cilantro", "parsley", "rice", "vinegar", "honey", "cheese",
+}
+
+// Generate builds the full synthetic corpus.
+func Generate(cfg Config) (*recipe.Corpus, error) {
+	if cfg.Lexicon == nil {
+		cfg.Lexicon = ingredient.Builtin()
+	}
+	if len(cfg.Regions) == 0 {
+		cfg.Regions = cuisine.All()
+	}
+	if cfg.RecipeScale <= 0 {
+		return nil, fmt.Errorf("synth: RecipeScale must be positive, got %v", cfg.RecipeScale)
+	}
+	if cfg.ZipfExponent <= 0 {
+		return nil, fmt.Errorf("synth: ZipfExponent must be positive, got %v", cfg.ZipfExponent)
+	}
+	if cfg.OverrepBoost <= 0 {
+		return nil, fmt.Errorf("synth: OverrepBoost must be positive, got %v", cfg.OverrepBoost)
+	}
+	if cfg.JitterSD < 0 {
+		return nil, fmt.Errorf("synth: JitterSD must be non-negative, got %v", cfg.JitterSD)
+	}
+	if cfg.SizeTailProb < 0 || cfg.SizeTailProb > 0.25 {
+		return nil, fmt.Errorf("synth: SizeTailProb must be in [0, 0.25], got %v", cfg.SizeTailProb)
+	}
+
+	corpus := recipe.NewCorpus(cfg.Lexicon)
+	global := globalWeights(cfg)
+	for _, region := range cfg.Regions {
+		src := regionSource(cfg.Seed, region.Code)
+		if err := generateRegion(cfg, region, global, src, corpus); err != nil {
+			return nil, fmt.Errorf("synth: region %s: %w", region.Code, err)
+		}
+	}
+	return corpus, nil
+}
+
+// globalWeights assigns every lexicon entity a shared base popularity:
+// staples occupy the top Zipf ranks, the remainder are ranked by a
+// seed-determined permutation. The result is a Zipf(s) profile over 721
+// entities.
+func globalWeights(cfg Config) []float64 {
+	lex := cfg.Lexicon
+	n := lex.Len()
+	rank := make([]int, n)
+	for i := range rank {
+		rank[i] = -1
+	}
+	next := 0
+	for _, name := range staples {
+		if id, ok := lex.Lookup(name); ok && rank[id] == -1 {
+			rank[id] = next
+			next++
+		}
+	}
+	src := randx.New(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5)
+	perm := src.Perm(n)
+	for _, id := range perm {
+		if rank[id] == -1 {
+			rank[id] = next
+			next++
+		}
+	}
+	w := make([]float64, n)
+	for id := 0; id < n; id++ {
+		w[id] = 1 / math.Pow(float64(rank[id]+1), cfg.ZipfExponent)
+	}
+	return w
+}
+
+// regionSource derives a deterministic per-region RNG from the corpus
+// seed and the region code (FNV-1a over the code, mixed into the seed).
+func regionSource(seed uint64, code string) *randx.Source {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(code); i++ {
+		h ^= uint64(code[i])
+		h *= 1099511628211
+	}
+	return randx.New(seed ^ h)
+}
+
+// regionWeights computes the per-region sampling weight of every lexicon
+// entity: global base × category bias × log-normal jitter, with the
+// region's Table I overrepresented ingredients pinned near the top.
+//
+// Jitter is damped for globally popular ingredients: a staple like salt
+// must keep a similar share in every cuisine so that Eq 1 cancels it out
+// (its uniqueness is low everywhere), while tail ingredients may vary
+// freely between cuisines.
+func regionWeights(cfg Config, region cuisine.Region, global []float64, src *randx.Source) []float64 {
+	lex := cfg.Lexicon
+	gMax := 0.0
+	for _, g := range global {
+		if g > gMax {
+			gMax = g
+		}
+	}
+	w := make([]float64, len(global))
+	wMax := 0.0
+	for id := range global {
+		bias := 1.0
+		if b, ok := region.CategoryBias[lex.CategoryOf(ingredient.ID(id))]; ok {
+			bias = b
+		}
+		damp := 1 / (1 + 4*global[id]/gMax)
+		jitter := math.Exp(src.NormAt(0, cfg.JitterSD*damp))
+		w[id] = global[id] * bias * jitter
+		if w[id] > wMax {
+			wMax = w[id]
+		}
+	}
+	factor := cfg.OverrepBoost
+	for _, id := range region.OverrepresentedIDs(lex) {
+		pinned := wMax * factor
+		// A listed staple (e.g. salt in Central America) may already sit
+		// at wMax; pinning it lower would *reduce* its share. Guarantee a
+		// genuine lift above its natural weight instead.
+		if lift := w[id] * 1.6; lift > pinned {
+			pinned = lift
+		}
+		w[id] = pinned
+		factor *= 0.88
+	}
+	return w
+}
+
+// vocabulary returns the region's ingredient vocabulary: the top k
+// entities by regional weight (k clamped to the lexicon size).
+// Deterministic given the weights.
+func vocabulary(k int, weights []float64) []ingredient.ID {
+	if k > len(weights) {
+		k = len(weights)
+	}
+	idx := make([]ingredient.ID, len(weights))
+	for i := range idx {
+		idx[i] = ingredient.ID(i)
+	}
+	// Order by descending weight (ties by ID for determinism), take the
+	// first k.
+	sort.Slice(idx, func(a, b int) bool {
+		if weights[idx[a]] != weights[idx[b]] {
+			return weights[idx[a]] > weights[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return append([]ingredient.ID(nil), idx[:k]...)
+}
+
+// generateRegion emits one region's recipes into the corpus.
+func generateRegion(cfg Config, region cuisine.Region, global []float64, src *randx.Source, corpus *recipe.Corpus) error {
+	weights := regionWeights(cfg, region, global, src)
+
+	n := int(math.Round(float64(region.Recipes) * cfg.RecipeScale))
+	if n < 8 {
+		n = 8
+	}
+	// The Table I unique-ingredient target assumes the full recipe count;
+	// a heavily down-scaled region cannot host that many distinct
+	// ingredients at sane frequencies (coverage would spread every
+	// ingredient to ~1 occurrence and no combination would reach the 5%
+	// support floor). Cap the vocabulary so the average ingredient still
+	// occurs at least twice. At full scale the cap is far above the
+	// target and has no effect.
+	vocabTarget := region.Ingredients
+	if maxVocab := n * int(math.Round(region.MeanSize)) / 2; vocabTarget > maxVocab {
+		vocabTarget = maxVocab
+		if vocabTarget < 8 {
+			vocabTarget = 8
+		}
+	}
+	vocab := vocabulary(vocabTarget, weights)
+
+	vocabWeights := make([]float64, len(vocab))
+	for i, id := range vocab {
+		vocabWeights[i] = weights[id]
+	}
+	sampler := randx.NewWeightedSampler(vocabWeights)
+	recipes := make([]recipe.Recipe, 0, n)
+	occurrences := make([]int, len(vocab))
+	for i := 0; i < n; i++ {
+		size := src.TruncNormInt(region.MeanSize, region.SDSize, cuisine.MinRecipeSize, cuisine.MaxRecipeSize)
+		if src.Float64() < cfg.SizeTailProb {
+			// Sparse heavy tail: elaborate recipes reaching the paper's
+			// observed maximum of 38 ingredients.
+			tailLo := int(region.MeanSize + 2*region.SDSize)
+			if tailLo < size {
+				size = tailLo + src.Intn(cuisine.MaxRecipeSize-tailLo+1)
+			}
+		}
+		if size > len(vocab) {
+			size = len(vocab)
+		}
+		picks := sampler.DrawDistinct(src, size)
+		ids := make([]ingredient.ID, size)
+		for j, p := range picks {
+			ids[j] = vocab[p]
+			occurrences[p]++
+		}
+		recipes = append(recipes, recipe.Recipe{
+			Region:      region.Code,
+			Continent:   region.Continent,
+			Ingredients: ids,
+		})
+	}
+
+	if cfg.EnsureCoverage {
+		ensureCoverage(recipes, vocab, occurrences, src)
+	}
+
+	for _, r := range recipes {
+		if err := corpus.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureCoverage plants each zero-occurrence vocabulary ingredient into a
+// random recipe by replacing one of its existing ingredients (keeping the
+// recipe a set and its size unchanged). Real corpora contain such
+// singleton ingredients; this also pins the region's unique-ingredient
+// count to the Table I target.
+func ensureCoverage(recipes []recipe.Recipe, vocab []ingredient.ID, occurrences []int, src *randx.Source) {
+	for vi, occ := range occurrences {
+		if occ > 0 {
+			continue
+		}
+		missing := vocab[vi]
+	placement:
+		for attempt := 0; attempt < 256; attempt++ {
+			r := &recipes[src.Intn(len(recipes))]
+			if r.HasIngredient(missing) {
+				break placement // cannot happen for occ==0, defensive
+			}
+			slot := src.Intn(len(r.Ingredients))
+			// Do not evict another singleton, or coverage regresses.
+			evicted := r.Ingredients[slot]
+			evictedVI := -1
+			for k, id := range vocab {
+				if id == evicted {
+					evictedVI = k
+					break
+				}
+			}
+			if evictedVI >= 0 && occurrences[evictedVI] <= 1 {
+				continue
+			}
+			r.Ingredients[slot] = missing
+			occurrences[vi]++
+			if evictedVI >= 0 {
+				occurrences[evictedVI]--
+			}
+			break placement
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package textnorm
+
+import (
+	"fmt"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+)
+
+// TestEveryCanonicalNameResolves guarantees the protocol is total over
+// the lexicon: every canonical name maps back to its own entity.
+func TestEveryCanonicalNameResolves(t *testing.T) {
+	lex := ingredient.Builtin()
+	n := NewNormalizer(lex)
+	for _, e := range lex.All() {
+		id, ok := n.Resolve(e.Name)
+		if !ok {
+			t.Errorf("canonical name %q does not resolve", e.Name)
+			continue
+		}
+		if id != e.ID {
+			t.Errorf("canonical name %q resolved to %q", e.Name, lex.Name(id))
+		}
+	}
+}
+
+// TestEveryAliasResolves guarantees every alias maps to its entity.
+func TestEveryAliasResolves(t *testing.T) {
+	lex := ingredient.Builtin()
+	n := NewNormalizer(lex)
+	for _, e := range lex.All() {
+		for _, alias := range e.Aliases {
+			id, ok := n.Resolve(alias)
+			if !ok {
+				t.Errorf("alias %q of %q does not resolve", alias, e.Name)
+				continue
+			}
+			if id != e.ID {
+				t.Errorf("alias %q of %q resolved to %q", alias, e.Name, lex.Name(id))
+			}
+		}
+	}
+}
+
+// TestQuantityPrefixNeverBreaksResolution adds standard quantity/unit
+// prefixes to every canonical name; resolution must still land on some
+// entity (usually the same one; collisions with longer entity names are
+// possible and acceptable — e.g. "ground" + "chicken").
+func TestQuantityPrefixNeverBreaksResolution(t *testing.T) {
+	lex := ingredient.Builtin()
+	n := NewNormalizer(lex)
+	prefixes := []string{"2 cups ", "1/2 tsp ", "3 ", "1 pound "}
+	for _, e := range lex.All() {
+		for _, p := range prefixes {
+			mention := p + e.Name
+			if _, ok := n.Resolve(mention); !ok {
+				t.Errorf("mention %q does not resolve", mention)
+			}
+		}
+	}
+}
+
+// TestStopwordSafeNames documents that names made entirely of stopword-
+// colliding tokens still resolve through the raw-token fallback.
+func TestStopwordSafeNames(t *testing.T) {
+	lex := ingredient.Builtin()
+	n := NewNormalizer(lex)
+	cases := map[string]string{
+		"1 dash hot sauce":               "hot sauce",
+		"2 cups crushed tomatoes":        "crushed tomatoes",
+		"1 cup black gram, rinsed":       "black gram",
+		"3 drops clove oil":              "clove oil",
+		"1 cup fresh hen of the woods":   "maitake mushroom",
+		"1/2 cup half and half":          "half-and-half",
+		"2 tsp bicarbonate of soda":      "baking soda",
+		"1 cup cream of tartar, divided": "cream of tartar",
+	}
+	for mention, want := range cases {
+		id, ok := n.Resolve(mention)
+		if !ok {
+			// Entities trimmed from the lexicon make some cases moot.
+			if _, present := lex.Lookup(want); !present {
+				continue
+			}
+			t.Errorf("Resolve(%q) failed", mention)
+			continue
+		}
+		if _, present := lex.Lookup(want); !present {
+			continue
+		}
+		if got := lex.Name(id); got != want {
+			t.Errorf("Resolve(%q) = %q, want %q", mention, got, want)
+		}
+	}
+}
+
+// TestResolveStability: resolution is a pure function.
+func TestResolveStability(t *testing.T) {
+	lex := ingredient.Builtin()
+	n := NewNormalizer(lex)
+	for i := 0; i < 3; i++ {
+		id, ok := n.Resolve("2 cups chopped fresh basil")
+		if !ok || lex.Name(id) != "basil" {
+			t.Fatalf("iteration %d: unstable resolution", i)
+		}
+	}
+}
+
+func ExampleNormalizer_Resolve() {
+	lex := ingredient.Builtin()
+	n := NewNormalizer(lex)
+	id, _ := n.Resolve("1 can (14 oz) coconut milk, shaken")
+	fmt.Println(lex.Name(id))
+	// Output: coconut milk
+}

@@ -1,0 +1,194 @@
+package textnorm
+
+import (
+	"reflect"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+)
+
+func newTestNormalizer(t *testing.T) *Normalizer {
+	t.Helper()
+	return NewNormalizer(ingredient.Builtin())
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	got := Tokenize("2 cups Chopped, fresh BASIL")
+	want := []string{"cups", "chopped", "fresh", "basil"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeDropsParentheses(t *testing.T) {
+	got := Tokenize("1 can (14.5 oz) diced tomatoes")
+	want := []string{"can", "diced", "tomatoes"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeDropsDigitsAndFractions(t *testing.T) {
+	got := Tokenize("1/2 tsp salt ½ extra")
+	want := []string{"tsp", "salt", "extra"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeKeepsHyphens(t *testing.T) {
+	got := Tokenize("sun-dried tomato")
+	want := []string{"sun-dried", "tomato"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize("  123 (all aside) "); len(got) != 0 {
+		t.Fatalf("Tokenize = %v, want empty", got)
+	}
+}
+
+func TestSingular(t *testing.T) {
+	cases := map[string]string{
+		"tomatoes":   "tomato",
+		"potatoes":   "potato",
+		"berries":    "berry",
+		"peaches":    "peach",
+		"radishes":   "radish",
+		"onions":     "onion",
+		"carrots":    "carrot",
+		"hummus":     "hummus",
+		"molasses":   "molasses",
+		"gas":        "gas",
+		"couscous":   "couscous",
+		"asparagus":  "asparagus",
+		"eggs":       "egg",
+		"anchovies":  "anchovy",
+		"box":        "box",
+		"egg":        "egg",
+		"watercress": "watercress",
+	}
+	for in, want := range cases {
+		if got := Singular(in); got != want {
+			t.Errorf("Singular(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestResolveExact(t *testing.T) {
+	n := newTestNormalizer(t)
+	lex := ingredient.Builtin()
+	id, ok := n.Resolve("basil")
+	if !ok || id != lex.MustID("basil") {
+		t.Fatalf("Resolve(basil) = %v, %v", id, ok)
+	}
+}
+
+func TestResolveWithQuantityAndDescriptors(t *testing.T) {
+	n := newTestNormalizer(t)
+	lex := ingredient.Builtin()
+	cases := map[string]string{
+		"2 cups finely chopped fresh basil leaves":     "basil",
+		"1 lb boneless skinless chicken breast, cubed": "chicken breast",
+		"3 cloves garlic, minced":                      "garlic",
+		"1/4 cup extra virgin olive oil":               "olive oil",
+		"salt to taste":                                "salt",
+		"2 large eggs, beaten":                         "egg",
+		"1 can (14 oz) coconut milk":                   "coconut milk",
+		"freshly ground black pepper":                  "black pepper",
+		"1 tablespoon soy sauce":                       "soybean sauce",
+		"2 medium ripe tomatoes, diced":                "tomato",
+		"1 cup shredded sharp cheddar":                 "cheddar cheese",
+		"500 g spaghetti":                              "spaghetti",
+		"1 bunch cilantro (coriander leaves), chopped": "cilantro",
+		"2 spring onions, thinly sliced":               "green onion",
+		"a pinch of garam masala":                      "garam masala",
+		"1 tsp baking powder":                          "baking powder",
+		"juice of 1 lime":                              "lime juice",
+		"1 cup all-purpose flour, sifted":              "flour",
+		"4 slices bacon, cut into pieces":              "bacon",
+		"1 small knob fresh ginger, peeled and grated": "ginger",
+	}
+	for mention, want := range cases {
+		id, ok := n.Resolve(mention)
+		if !ok {
+			t.Errorf("Resolve(%q) failed", mention)
+			continue
+		}
+		if got := lex.Name(id); got != want {
+			t.Errorf("Resolve(%q) = %q, want %q", mention, got, want)
+		}
+	}
+}
+
+func TestResolvePrefersLongestMatch(t *testing.T) {
+	n := newTestNormalizer(t)
+	lex := ingredient.Builtin()
+	// "ginger garlic paste" must match the compound entity, not "ginger"
+	// or "garlic" individually.
+	id, ok := n.Resolve("1 tbsp ginger garlic paste")
+	if !ok || lex.Name(id) != "ginger garlic paste" {
+		t.Fatalf("got %q", lex.Name(id))
+	}
+	// "green onion" must not degrade to "onion".
+	id, ok = n.Resolve("2 green onions")
+	if !ok || lex.Name(id) != "green onion" {
+		t.Fatalf("got %q", lex.Name(id))
+	}
+}
+
+func TestResolveRightmostHead(t *testing.T) {
+	n := newTestNormalizer(t)
+	lex := ingredient.Builtin()
+	// In "chicken stock", the full phrase matches the compound directly.
+	id, ok := n.Resolve("4 cups chicken stock")
+	if !ok || lex.Name(id) != "chicken stock" {
+		t.Fatalf("got %q", lex.Name(id))
+	}
+}
+
+func TestResolveMiss(t *testing.T) {
+	n := newTestNormalizer(t)
+	for _, m := range []string{"", "unobtainium crystals", "3 tablespoons"} {
+		if id, ok := n.Resolve(m); ok {
+			t.Errorf("Resolve(%q) unexpectedly hit id %d", m, id)
+		}
+	}
+}
+
+func TestResolveAll(t *testing.T) {
+	n := newTestNormalizer(t)
+	lex := ingredient.Builtin()
+	mentions := []string{
+		"2 tomatoes",
+		"1 onion, diced",
+		"3 roma tomatoes", // duplicate of tomato after resolution
+		"moon rock",       // miss
+		"salt",
+	}
+	ids, misses := n.ResolveAll(mentions)
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	want := []ingredient.ID{lex.MustID("tomato"), lex.MustID("onion"), lex.MustID("salt")}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("ResolveAll = %v, want %v", ids, want)
+	}
+}
+
+func TestResolveAllEmpty(t *testing.T) {
+	n := newTestNormalizer(t)
+	ids, misses := n.ResolveAll(nil)
+	if len(ids) != 0 || misses != 0 {
+		t.Fatalf("got %v, %d", ids, misses)
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	n := NewNormalizer(ingredient.Builtin())
+	for i := 0; i < b.N; i++ {
+		n.Resolve("1 lb boneless skinless chicken breast, cut into cubes")
+	}
+}
