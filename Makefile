@@ -1,0 +1,39 @@
+# Development targets for the cuisinevol reproduction.
+#
+#   make check           CI-grade gate: vet + build + race tests + bench smoke
+#   make bench-baseline  full benchmark run, recorded to BENCH_fig_pipeline.json
+#   make bench-smoke     1-iteration benchmark pass (fast; same JSON output)
+
+GO ?= go
+
+# The perf-trajectory benchmarks: the FP-Growth kernel and the Fig 3/4
+# pipelines it feeds (see ISSUE/DESIGN "Performance architecture").
+BENCH_PATTERN := FPGrowth|Fig3|Fig4
+
+.PHONY: check vet build test race bench-smoke bench-baseline
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke keeps `make check` fast (one iteration per benchmark) while
+# still exercising every benchmarked pipeline end to end and refreshing
+# BENCH_fig_pipeline.json's shape.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x ./... \
+		| $(GO) run ./cmd/benchjson > BENCH_fig_pipeline.json
+
+# bench-baseline records the real numbers committed with a PR.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... \
+		| $(GO) run ./cmd/benchjson > BENCH_fig_pipeline.json

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cuisinevol <command> [flags]
+//	cuisinevol [-cpuprofile file] [-memprofile file] <command> [flags]
 //
 // Commands:
 //
@@ -34,16 +34,68 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Global profiling flags, placed before the command:
+//
+//	cuisinevol -cpuprofile cpu.pprof fig4 -scale 1
+//	cuisinevol -memprofile mem.pprof fig3
+//
+// They let full-scale pipeline runs be profiled without recompiling;
+// analyze the output with `go tool pprof`.
+var (
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the command to `file`")
+	memProfile = flag.String("memprofile", "", "write a heap profile to `file` when the command finishes")
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	flag.Usage = usage
+	flag.Parse()
+	os.Exit(run(flag.Args()))
+}
+
+// run executes the command with profiling hooks; separated from main so
+// profile writers flush before os.Exit.
+func run(argv []string) int {
+	if len(argv) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cuisinevol: creating cpu profile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cuisinevol: starting cpu profile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cuisinevol: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cuisinevol: writing heap profile:", err)
+			}
+		}()
+	}
+	cmd, args := argv[0], argv[1:]
 	var err error
 	switch cmd {
 	case "gen":
@@ -75,18 +127,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "cuisinevol: unknown command %q\n\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cuisinevol:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
 	fmt.Fprint(os.Stderr, `cuisinevol — reproduction of "Computational models for the evolution of world cuisines" (ICDE 2019)
 
-usage: cuisinevol <command> [flags]
+usage: cuisinevol [-cpuprofile file] [-memprofile file] <command> [flags]
 
 commands:
   gen      generate the synthetic corpus and write it to disk
@@ -108,6 +161,10 @@ extensions (paper §VII and motivating literature):
   search      conjunctive ingredient queries over the corpus
   diff        compare two corpora region by region
   cluster     cluster cuisines by ingredient-usage profile
+
+global flags (before the command):
+  -cpuprofile file   write a CPU profile of the command to file
+  -memprofile file   write a heap profile to file when the command finishes
 
 run 'cuisinevol <command> -h' for per-command flags
 `)

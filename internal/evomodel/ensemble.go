@@ -2,12 +2,11 @@ package evomodel
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"cuisinevol/internal/ingredient"
 	"cuisinevol/internal/itemset"
 	"cuisinevol/internal/rankfreq"
+	"cuisinevol/internal/sched"
 )
 
 // EnsembleConfig configures a replicate ensemble: the paper generates 100
@@ -79,42 +78,38 @@ func runEnsemble(cfg EnsembleConfig, lex *ingredient.Lexicon) (rankfreq.Distribu
 	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
 		return rankfreq.Distribution{}, nil, fmt.Errorf("evomodel: MinSupport must be in (0,1], got %v", cfg.MinSupport)
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Replicates {
-		workers = cfg.Replicates
-	}
 	label := cfg.Label
 	if label == "" {
 		label = cfg.Params.Kind.String()
 	}
 
 	dists := make([]rankfreq.Distribution, cfg.Replicates)
-	errs := make([]error, cfg.Replicates)
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for rep := range jobs {
-				dists[rep], errs[rep] = runReplicate(cfg, lex, label, rep)
-			}
-		}()
-	}
-	for rep := 0; rep < cfg.Replicates; rep++ {
-		jobs <- rep
-	}
-	close(jobs)
-	wg.Wait()
-	for rep, err := range errs {
+	if err := sched.Run(cfg.Workers, cfg.Replicates, func(rep int) error {
+		var err error
+		dists[rep], err = runReplicate(cfg, lex, label, rep)
 		if err != nil {
-			return rankfreq.Distribution{}, nil, fmt.Errorf("evomodel: replicate %d: %w", rep, err)
+			return fmt.Errorf("evomodel: replicate %d: %w", rep, err)
 		}
+		return nil
+	}); err != nil {
+		return rankfreq.Distribution{}, nil, err
 	}
 	return rankfreq.Aggregate(dists), dists, nil
+}
+
+// ReplicateDistribution runs a single replicate of the configured
+// ensemble and mines its combinations — the unit work item the shared
+// scheduler fans out when a caller (RunFig4) flattens several ensembles
+// into one (cuisine × kind × replicate) grid. Replicate rep derives its
+// seed exactly as RunEnsemble does, so dispatching replicates
+// individually and aggregating with rankfreq.Aggregate reproduces
+// RunEnsemble's output bit for bit.
+func ReplicateDistribution(cfg EnsembleConfig, lex *ingredient.Lexicon, rep int) (rankfreq.Distribution, error) {
+	label := cfg.Label
+	if label == "" {
+		label = cfg.Params.Kind.String()
+	}
+	return runReplicate(cfg, lex, label, rep)
 }
 
 // runReplicate executes one model run and mines its combinations.

@@ -209,23 +209,28 @@ func Run(params Params, lex *ingredient.Lexicon) ([][]ingredient.ID, error) {
 	return m.transactions(), nil
 }
 
-// machine is the mutable state of one run.
+// machine is the mutable state of one run. Per-ingredient state
+// (fitness, pool membership, usage) is held in dense slices indexed by
+// the raw ingredient ID — lexicon IDs are sequential, so the ID itself
+// is the dense index; the slices are sized once per run to the largest
+// ID in I. This replaces the per-run map churn the hot loop used to pay
+// on every fitness lookup.
 type machine struct {
 	p   Params
 	lex *ingredient.Lexicon
 	src *randx.Source
 
-	fitness map[ingredient.ID]float64
+	fitness []float64       // per ID: Uniform(0,1) fitness
 	reserve []ingredient.ID // I minus the pool, shrinking
 	pool    []ingredient.ID // I₀, growing
-	inPool  map[ingredient.ID]bool
+	inPool  bitset          // per ID: pool membership
 	// poolByCategory supports CM-C/CM-M draws; grown alongside pool.
 	poolByCategory [ingredient.NumCategories][]ingredient.ID
 
 	recipes [][]ingredient.ID // the recipe pool R₀ (unsorted item order)
 	// usage tracks per-ingredient recipe counts for the preferential-
 	// attachment alternative model; nil for other kinds.
-	usage map[ingredient.ID]int
+	usage []int
 	// lineage, when non-nil, records each recipe's mother index
 	// (RunWithLineage); lastMother carries the pending mother between
 	// copyMutate and addRecipe.
@@ -233,13 +238,34 @@ type machine struct {
 	lastMother int32
 }
 
+// bitset is a dense membership set keyed by ingredient ID.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i ingredient.ID)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) has(i ingredient.ID) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// maxIngredientID returns the largest ID in the list (the dense-slice
+// size the machine needs), or -1 for an empty list.
+func maxIngredientID(ids []ingredient.ID) ingredient.ID {
+	max := ingredient.ID(-1)
+	for _, id := range ids {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
 func newMachine(p Params, lex *ingredient.Lexicon, src *randx.Source) *machine {
+	size := int(maxIngredientID(p.Ingredients)) + 1
 	m := &machine{
 		p:       p,
 		lex:     lex,
 		src:     src,
-		fitness: make(map[ingredient.ID]float64, len(p.Ingredients)),
-		inPool:  make(map[ingredient.ID]bool, len(p.Ingredients)),
+		fitness: make([]float64, size),
+		inPool:  newBitset(size),
 	}
 	// Step 1: fitness ~ Uniform(0,1) for every ingredient in I.
 	for _, id := range p.Ingredients {
@@ -253,7 +279,7 @@ func newMachine(p Params, lex *ingredient.Lexicon, src *randx.Source) *machine {
 	}
 	m.reserve = all[p.InitialPool:]
 	if p.Kind == PreferentialAttachment {
-		m.usage = make(map[ingredient.ID]int, len(p.Ingredients))
+		m.usage = make([]int, size)
 	}
 	// Initial recipe pool R₀: n recipes of s̄ ingredients from I₀.
 	for i := 0; i < p.InitialRecipes; i++ {
@@ -280,7 +306,7 @@ func (m *machine) addRecipe(r []ingredient.ID) {
 
 func (m *machine) addToPool(id ingredient.ID) {
 	m.pool = append(m.pool, id)
-	m.inPool[id] = true
+	m.inPool.set(id)
 	c := m.lex.CategoryOf(id)
 	m.poolByCategory[c] = append(m.poolByCategory[c], id)
 }

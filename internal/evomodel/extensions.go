@@ -109,8 +109,9 @@ func (m *machine) sampleRecipeWeighted(from []ingredient.ID, weight func(ingredi
 }
 
 // generateAlternative produces one recipe under the alternative
-// hypotheses. usage is the running per-ingredient recipe count.
-func (m *machine) generateAlternative(usage map[ingredient.ID]int) []ingredient.ID {
+// hypotheses. usage is the running per-ingredient recipe count, indexed
+// by ingredient ID.
+func (m *machine) generateAlternative(usage []int) []ingredient.ID {
 	switch m.p.Kind {
 	case FitnessOnly:
 		return m.sampleRecipeWeighted(m.pool, func(id ingredient.ID) float64 {

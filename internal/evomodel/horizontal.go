@@ -49,14 +49,23 @@ func RunHorizontal(cfg HorizontalConfig, lex *ingredient.Lexicon) (map[string][]
 	sort.Strings(labels)
 
 	// Shared fitness across regions: one assignment over the union of
-	// all ingredient lists. Every machine aliases this single map, so a
-	// migrated recipe's foreign ingredients still have defined fitness
-	// and selection applies uniformly everywhere.
+	// all ingredient lists. Every machine aliases this single dense
+	// slice (sized to the union's largest ID), so a migrated recipe's
+	// foreign ingredients still have defined fitness and selection
+	// applies uniformly everywhere.
 	root := randx.New(cfg.Seed)
-	sharedFitness := make(map[ingredient.ID]float64)
+	unionMax := ingredient.ID(-1)
+	for _, label := range labels {
+		if m := maxIngredientID(cfg.Regions[label].Ingredients); m > unionMax {
+			unionMax = m
+		}
+	}
+	sharedFitness := make([]float64, int(unionMax)+1)
+	assigned := newBitset(int(unionMax) + 1)
 	for _, label := range labels {
 		for _, id := range cfg.Regions[label].Ingredients {
-			if _, ok := sharedFitness[id]; !ok {
+			if !assigned.has(id) {
+				assigned.set(id)
 				sharedFitness[id] = root.Float64()
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"cuisinevol/internal/rankfreq"
 	"cuisinevol/internal/recipe"
 	"cuisinevol/internal/report"
+	"cuisinevol/internal/sched"
 )
 
 // Fig3Panel is one panel of Fig 3: rank-frequency distributions of
@@ -48,11 +49,11 @@ func RunFig3(cfg *Config) (*Fig3Result, error) {
 		minSupport = 0.05
 	}
 	res := &Fig3Result{}
-	res.Ingredients, err = buildPanel(corpus, minSupport, false)
+	res.Ingredients, err = buildPanel(corpus, minSupport, false, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fig3a: %w", err)
 	}
-	res.Categories, err = buildPanel(corpus, minSupport, true)
+	res.Categories, err = buildPanel(corpus, minSupport, true, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fig3b: %w", err)
 	}
@@ -102,24 +103,28 @@ func RunFig3(cfg *Config) (*Fig3Result, error) {
 }
 
 // buildPanel mines each cuisine (and the aggregate corpus), builds the
-// rank-frequency distributions and the pairwise matrix.
-func buildPanel(corpus *recipe.Corpus, minSupport float64, categories bool) (Fig3Panel, error) {
+// rank-frequency distributions and the pairwise matrix. The 25 cuisine
+// mines plus the aggregate mine are independent work items fanned out
+// through the shared scheduler; results land in Table I order, so the
+// panel is identical to the serial build.
+func buildPanel(corpus *recipe.Corpus, minSupport float64, categories bool, workers int) (Fig3Panel, error) {
 	panel := Fig3Panel{}
-	var cuisineDists []rankfreq.Distribution
-	for _, region := range cuisine.All() {
-		view := corpus.Region(region.Code)
-		d, err := mineView(view, minSupport, categories)
-		if err != nil {
-			return Fig3Panel{}, err
+	regions := cuisine.All()
+	dists, err := sched.Collect(workers, len(regions)+1, func(i int) (rankfreq.Distribution, error) {
+		if i == len(regions) {
+			// The aggregate corpus mine (the "ALL" series) is the largest
+			// item; it runs alongside the per-cuisine mines.
+			d, err := mineView(corpus.AllView(), minSupport, categories)
+			d.Label = "ALL"
+			return d, err
 		}
-		cuisineDists = append(cuisineDists, d)
-	}
-	all, err := mineView(corpus.AllView(), minSupport, categories)
+		return mineView(corpus.Region(regions[i].Code), minSupport, categories)
+	})
 	if err != nil {
 		return Fig3Panel{}, err
 	}
-	all.Label = "ALL"
-	panel.Dists = append(append([]rankfreq.Distribution(nil), cuisineDists...), all)
+	cuisineDists := dists[:len(regions)]
+	panel.Dists = dists
 
 	panel.Matrix, err = rankfreq.Pairwise(cuisineDists, rankfreq.PaperMAE)
 	if err != nil {

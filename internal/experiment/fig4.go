@@ -9,6 +9,7 @@ import (
 	"cuisinevol/internal/plot"
 	"cuisinevol/internal/rankfreq"
 	"cuisinevol/internal/report"
+	"cuisinevol/internal/sched"
 )
 
 // Fig4Row is one cuisine's model comparison: the Eq 2 distance between
@@ -90,21 +91,23 @@ func RunFig4(cfg *Config, opts Fig4Options) (*Fig4Result, error) {
 	res.NullWorstEverywhere = true
 	lex := corpus.Lexicon()
 
-	for _, code := range regions {
+	// Build every ensemble config up front (deterministic, cheap), then
+	// flatten the whole figure into one (cuisine × kind × replicate)
+	// work-item grid under a single Workers budget. The old shape —
+	// cuisines × kinds walked serially with parallelism only inside each
+	// ensemble — drained the pool at every ensemble boundary; the flat
+	// grid keeps all workers busy across the full pipeline. Replicate
+	// seeds depend only on (Seed, rep), exactly as in RunEnsemble, and
+	// per-ensemble aggregation order is preserved, so outputs match the
+	// serial path bit for bit.
+	nK := len(kinds)
+	ensembles := make([]evomodel.EnsembleConfig, len(regions)*nK)
+	for r, code := range regions {
 		view := corpus.Region(code)
 		if view.Len() == 0 {
 			return nil, fmt.Errorf("experiment: region %s missing from corpus", code)
 		}
-		empirical, err := mineView(view, minSupport, opts.Categories)
-		if err != nil {
-			return nil, err
-		}
-		res.Empirical[code] = empirical
-		res.Models[code] = make(map[evomodel.Kind]rankfreq.Distribution, len(kinds))
-
-		row := Fig4Row{Region: code, MAE: make(map[evomodel.Kind]float64, len(kinds))}
-		bestMAE := -1.0
-		for _, kind := range kinds {
+		for k, kind := range kinds {
 			params := evomodel.ParamsForView(view, kind, cfg.Seed)
 			params.FixedIterations = opts.FixedIterations
 			params.NullFromFullLexicon = opts.NullFromFullLexicon
@@ -117,18 +120,52 @@ func RunFig4(cfg *Config, opts Fig4Options) (*Fig4Result, error) {
 			if opts.InitialPoolOverride > 0 {
 				params.InitialPool = opts.InitialPoolOverride
 			}
-			dist, err := evomodel.RunEnsemble(evomodel.EnsembleConfig{
+			ensembles[r*nK+k] = evomodel.EnsembleConfig{
 				Params:     params,
 				Replicates: replicates,
 				MinSupport: minSupport,
 				Categories: opts.Categories,
 				Workers:    cfg.Workers,
-			}, lex)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s/%v: %w", code, kind, err)
 			}
+		}
+	}
+
+	// Empirical mines, one work item per cuisine.
+	empirical, err := sched.Collect(cfg.Workers, len(regions), func(r int) (rankfreq.Distribution, error) {
+		return mineView(corpus.Region(regions[r]), minSupport, opts.Categories)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Model replicates: item i = (region r, kind k, replicate rep).
+	repDists := make([][]rankfreq.Distribution, len(ensembles))
+	for e := range repDists {
+		repDists[e] = make([]rankfreq.Distribution, replicates)
+	}
+	if err := sched.Run(cfg.Workers, len(ensembles)*replicates, func(i int) error {
+		e, rep := i/replicates, i%replicates
+		d, err := evomodel.ReplicateDistribution(ensembles[e], lex, rep)
+		if err != nil {
+			return fmt.Errorf("experiment: %s/%v: replicate %d: %w",
+				regions[e/nK], kinds[e%nK], rep, err)
+		}
+		repDists[e][rep] = d
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for r, code := range regions {
+		res.Empirical[code] = empirical[r]
+		res.Models[code] = make(map[evomodel.Kind]rankfreq.Distribution, len(kinds))
+
+		row := Fig4Row{Region: code, MAE: make(map[evomodel.Kind]float64, len(kinds))}
+		bestMAE := -1.0
+		for k, kind := range kinds {
+			dist := rankfreq.Aggregate(repDists[r*nK+k])
 			res.Models[code][kind] = dist
-			mae, err := rankfreq.PaperMAE(empirical, dist)
+			mae, err := rankfreq.PaperMAE(empirical[r], dist)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s/%v: %w", code, kind, err)
 			}

@@ -1,0 +1,84 @@
+package itemset
+
+import (
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/randx"
+)
+
+// replicatePool synthesizes a copy-mutate-style recipe pool: a small set
+// of founder recipes expanded by copying with few mutations, so the
+// transaction multiset is highly redundant — exactly the shape the
+// Fig 4 replicate ensembles hand to the miner ~10,000 times per full
+// reproduction.
+func replicatePool(seed uint64, founders, total, size, universe int) [][]ingredient.ID {
+	src := randx.New(seed)
+	pool := make([][]ingredient.ID, 0, total)
+	for i := 0; i < founders; i++ {
+		pool = append(pool, tx(src.SampleInts(universe, size)...))
+	}
+	for len(pool) < total {
+		mother := pool[src.Intn(len(pool))]
+		r := append([]ingredient.ID(nil), mother...)
+		// One mutation attempt per copy keeps duplicates common.
+		if src.Float64() < 0.5 {
+			r[src.Intn(len(r))] = ingredient.ID(src.Intn(universe))
+			r = dedupSorted(r)
+		}
+		pool = append(pool, r)
+	}
+	return pool
+}
+
+func dedupSorted(r []ingredient.ID) []ingredient.ID {
+	sortIDs(r)
+	out := r[:0]
+	for i, id := range r {
+		if i == 0 || id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sortIDs(xs []ingredient.ID) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// BenchmarkFPGrowthReplicatePool is the replicate-mining benchmark: one
+// FP-Growth invocation over a duplicate-heavy model-generated pool, the
+// hot path of the Fig 4 pipeline.
+func BenchmarkFPGrowthReplicatePool(b *testing.B) {
+	txs := replicatePool(7, 30, 3000, 9, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPGrowth(txs, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFPGrowthReplicateSweep mines many replicate pools back to
+// back, the steady-state regime the ensemble workers run in (scratch
+// reuse across mines is what this measures).
+func BenchmarkFPGrowthReplicateSweep(b *testing.B) {
+	pools := make([][][]ingredient.ID, 16)
+	for i := range pools {
+		pools[i] = replicatePool(uint64(i+1), 30, 1500, 9, 300)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, txs := range pools {
+			if _, err := FPGrowth(txs, 0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package itemset
 
 import (
 	"sort"
+	"sync"
 
 	"cuisinevol/internal/ingredient"
 )
@@ -10,7 +11,176 @@ import (
 // >= minSupport using the FP-Growth algorithm (Han et al.). It produces
 // exactly the same result as Apriori but scales to the full 158k-recipe
 // corpus; it is the miner the experiment harness uses.
+//
+// The kernel behind it is flat-memory: FP-tree nodes live in a single
+// arena slice with index links, identical transactions are deduplicated
+// into (transaction, count) pairs before insertion, and all scratch is
+// pooled across calls, so steady-state mining (the ~10,000 replicate
+// mines of a full Fig 4 reproduction) allocates almost nothing beyond
+// the returned Result.
 func FPGrowth(txs [][]ingredient.ID, minSupport float64) (*Result, error) {
+	m := minerPool.Get().(*Miner)
+	res, err := m.FPGrowth(txs, minSupport)
+	minerPool.Put(m)
+	return res, err
+}
+
+var minerPool = sync.Pool{New: func() any { return NewMiner() }}
+
+// nilIdx is the arena's null link.
+const nilIdx = int32(-1)
+
+// fpNode is one FP-tree node, stored by value in a flatTree's arena.
+// Links are arena indices (first-child/next-sibling instead of per-node
+// child maps); item is an index into the miner's global frequency order,
+// not an ingredient ID.
+type fpNode struct {
+	parent int32
+	child  int32 // first child
+	sib    int32 // next sibling under the same parent
+	hnext  int32 // next node in the header-table chain for item
+	item   int32
+	count  int
+}
+
+// flatTree is an FP-tree whose nodes live in one contiguous arena;
+// nodes[0] is the root. The tree is sized to the item range it actually
+// holds (conditional trees for item i only ever contain items < i).
+type flatTree struct {
+	nodes    []fpNode
+	heads    []int32 // per item: first node of the header chain
+	tails    []int32 // per item: last node of the header chain
+	counts   []int   // per item: total count in this tree
+	numItems int
+}
+
+// reset clears the tree for reuse with the given item range, recycling
+// all backing storage.
+func (t *flatTree) reset(numItems int) {
+	t.nodes = append(t.nodes[:0], fpNode{parent: nilIdx, child: nilIdx, sib: nilIdx, hnext: nilIdx, item: -1})
+	if cap(t.heads) < numItems {
+		t.heads = make([]int32, numItems)
+		t.tails = make([]int32, numItems)
+		t.counts = make([]int, numItems)
+	}
+	t.heads = t.heads[:numItems]
+	t.tails = t.tails[:numItems]
+	t.counts = t.counts[:numItems]
+	for i := range t.heads {
+		t.heads[i] = nilIdx
+		t.counts[i] = 0
+	}
+	t.numItems = numItems
+}
+
+// insert adds one transaction (item indices sorted ascending, i.e. most
+// frequent first) with the given count.
+func (t *flatTree) insert(items []int32, count int) {
+	node := int32(0)
+	for _, it := range items {
+		// Find the child carrying it by walking the sibling list; fanout
+		// is bounded by the (small) frequent-item count, and the scan
+		// touches one contiguous arena, so this beats a per-node map.
+		child := nilIdx
+		for c := t.nodes[node].child; c != nilIdx; c = t.nodes[c].sib {
+			if t.nodes[c].item == it {
+				child = c
+				break
+			}
+		}
+		if child == nilIdx {
+			child = int32(len(t.nodes))
+			t.nodes = append(t.nodes, fpNode{
+				parent: node,
+				child:  nilIdx,
+				sib:    t.nodes[node].child,
+				hnext:  nilIdx,
+				item:   it,
+			})
+			t.nodes[node].child = child
+			if t.heads[it] == nilIdx {
+				t.heads[it] = child
+			} else {
+				t.nodes[t.tails[it]].hnext = child
+			}
+			t.tails[it] = child
+		}
+		t.nodes[child].count += count
+		t.counts[it] += count
+		node = child
+	}
+}
+
+// singlePath appends the node chain to buf and reports true if the tree
+// is a single path; buf is left partially filled on failure.
+func (t *flatTree) singlePath(buf []int32) ([]int32, bool) {
+	node := int32(0)
+	for {
+		c := t.nodes[node].child
+		if c == nilIdx {
+			return buf, true
+		}
+		if t.nodes[c].sib != nilIdx {
+			return buf, false
+		}
+		buf = append(buf, c)
+		node = c
+	}
+}
+
+// itemCount pairs an ingredient with its global occurrence count.
+type itemCount struct {
+	item  ingredient.ID
+	count int
+}
+
+// Miner is a reusable FP-Growth kernel. All scratch state — the counting
+// maps, the transaction-dedup table, the FP-tree arenas (one per
+// recursion depth), and the suffix/prefix/emit buffers — survives across
+// calls, so a worker mining replicate after replicate reaches a steady
+// state with near-zero allocation per mine. A Miner is NOT safe for
+// concurrent use; the package-level FPGrowth draws Miners from a pool.
+type Miner struct {
+	counts map[ingredient.ID]int
+	dedup  map[string]int32 // encoded filtered tx -> index into txOff
+
+	freq  []itemCount
+	order map[ingredient.ID]int32 // ingredient -> frequency-order index
+
+	// Unique filtered transactions, flattened: transaction u occupies
+	// txArena[txOff[u]:txOff[u+1]] and occurred txCount[u] times.
+	txArena []int32
+	txOff   []int32
+	txCount []int
+
+	trees  []*flatTree // conditional-tree scratch, one per depth
+	suffix []int32
+	prefix []int32
+	combo  []int32
+	path   []int32
+	keyBuf []byte
+
+	// arenaFree is the unused tail of the current emit-arena chunk.
+	// Handed-out regions are never written again, so leftovers carry
+	// over safely between calls.
+	arenaFree []ingredient.ID
+
+	mc  int
+	res *Result
+}
+
+// NewMiner returns a Miner with empty scratch; see Miner.
+func NewMiner() *Miner {
+	return &Miner{
+		counts: make(map[ingredient.ID]int),
+		dedup:  make(map[string]int32),
+		order:  make(map[ingredient.ID]int32),
+	}
+}
+
+// FPGrowth mines txs with this Miner's scratch. Same contract as the
+// package-level FPGrowth.
+func (m *Miner) FPGrowth(txs [][]ingredient.ID, minSupport float64) (*Result, error) {
 	if minSupport <= 0 || minSupport > 1 {
 		return nil, ErrBadSupport
 	}
@@ -22,136 +192,100 @@ func FPGrowth(txs [][]ingredient.ID, minSupport float64) (*Result, error) {
 	if n == 0 {
 		return res, nil
 	}
-	mc := minCount(n, minSupport)
+	m.res = res
+	m.mc = minCount(n, minSupport)
 
-	counts := make(map[ingredient.ID]int)
+	clear(m.counts)
 	for _, tx := range txs {
 		for _, it := range tx {
-			counts[it]++
+			m.counts[it]++
 		}
 	}
 	// Global item order: descending count, ties by ascending ID. Items
 	// below the threshold are dropped up front.
-	freq := make([]itemCount, 0, len(counts))
-	for it, c := range counts {
-		if c >= mc {
-			freq = append(freq, itemCount{it, c})
+	m.freq = m.freq[:0]
+	for it, c := range m.counts {
+		if c >= m.mc {
+			m.freq = append(m.freq, itemCount{it, c})
 		}
 	}
-	sort.Slice(freq, func(i, j int) bool {
-		if freq[i].count != freq[j].count {
-			return freq[i].count > freq[j].count
+	sort.Slice(m.freq, func(i, j int) bool {
+		if m.freq[i].count != m.freq[j].count {
+			return m.freq[i].count > m.freq[j].count
 		}
-		return freq[i].item < freq[j].item
+		return m.freq[i].item < m.freq[j].item
 	})
-	order := make(map[ingredient.ID]int, len(freq))
-	for i, ic := range freq {
-		order[ic.item] = i
+	clear(m.order)
+	for i, ic := range m.freq {
+		m.order[ic.item] = int32(i)
 	}
 
-	tree := newFPTree(len(freq))
-	buf := make([]int, 0, 64)
-	for _, tx := range txs {
-		buf = buf[:0]
-		for _, it := range tx {
-			if idx, ok := order[it]; ok {
-				buf = append(buf, idx)
-			}
-		}
-		sort.Ints(buf)
-		tree.insert(buf, 1)
+	m.dedupTransactions(txs)
+
+	tree := m.treeAt(0)
+	tree.reset(len(m.freq))
+	for u := 0; u+1 < len(m.txOff); u++ {
+		tree.insert(m.txArena[m.txOff[u]:m.txOff[u+1]], m.txCount[u])
 	}
 
-	miner := &fpMiner{mc: mc, order: freq, res: res}
-	miner.mine(tree, nil)
+	m.suffix = m.suffix[:0]
+	m.mine(tree, 1)
 	sortCanonical(res.Sets)
+	m.res = nil // don't retain the caller's result in the pool
 	return res, nil
 }
 
-// fpNode is one node of an FP-tree. item is an index into the global
-// frequency order (not an ingredient ID).
-type fpNode struct {
-	item     int
-	count    int
-	parent   *fpNode
-	children map[int]*fpNode
-	next     *fpNode // header-table chain
-}
-
-// fpTree is an FP-tree with its header table.
-type fpTree struct {
-	root    *fpNode
-	heads   []*fpNode // per item index: first node in chain
-	tails   []*fpNode
-	counts  []int // per item index: total count in this tree
-	nMax    int
-	present []bool
-}
-
-func newFPTree(numItems int) *fpTree {
-	return &fpTree{
-		root:    &fpNode{item: -1, children: make(map[int]*fpNode)},
-		heads:   make([]*fpNode, numItems),
-		tails:   make([]*fpNode, numItems),
-		counts:  make([]int, numItems),
-		nMax:    numItems,
-		present: make([]bool, numItems),
-	}
-}
-
-// insert adds one transaction (item indices sorted ascending, i.e. most
-// frequent first) with the given count.
-func (t *fpTree) insert(items []int, count int) {
-	node := t.root
-	for _, it := range items {
-		child, ok := node.children[it]
-		if !ok {
-			child = &fpNode{item: it, parent: node, children: make(map[int]*fpNode)}
-			node.children[it] = child
-			if t.heads[it] == nil {
-				t.heads[it] = child
-			} else {
-				t.tails[it].next = child
+// dedupTransactions projects every transaction onto the frequent-item
+// order and collapses identical projections into (transaction, count)
+// pairs. Replicate pools are copies by construction, so this typically
+// shrinks the insertion workload several-fold. First-seen order is kept
+// so the whole pipeline stays deterministic.
+func (m *Miner) dedupTransactions(txs [][]ingredient.ID) {
+	clear(m.dedup)
+	m.txArena = m.txArena[:0]
+	m.txOff = append(m.txOff[:0], 0)
+	m.txCount = m.txCount[:0]
+	wide := len(m.freq) > 0xffff
+	buf := m.prefix[:0]
+	for _, tx := range txs {
+		buf = buf[:0]
+		for _, it := range tx {
+			if idx, ok := m.order[it]; ok {
+				buf = append(buf, idx)
 			}
-			t.tails[it] = child
-			t.present[it] = true
 		}
-		child.count += count
-		node = child
+		if len(buf) == 0 {
+			continue
+		}
+		sortInt32s(buf)
+		m.keyBuf = m.keyBuf[:0]
+		if wide {
+			for _, v := range buf {
+				m.keyBuf = append(m.keyBuf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+			}
+		} else {
+			for _, v := range buf {
+				m.keyBuf = append(m.keyBuf, byte(v>>8), byte(v))
+			}
+		}
+		if u, ok := m.dedup[string(m.keyBuf)]; ok {
+			m.txCount[u]++
+			continue
+		}
+		m.dedup[string(m.keyBuf)] = int32(len(m.txCount))
+		m.txArena = append(m.txArena, buf...)
+		m.txOff = append(m.txOff, int32(len(m.txArena)))
+		m.txCount = append(m.txCount, 1)
 	}
-	for _, it := range items {
-		t.counts[it] += count
-	}
+	m.prefix = buf[:0]
 }
 
-// singlePath returns the node chain if the tree is a single path, else nil.
-func (t *fpTree) singlePath() []*fpNode {
-	var path []*fpNode
-	node := t.root
-	for {
-		if len(node.children) == 0 {
-			return path
-		}
-		if len(node.children) > 1 {
-			return nil
-		}
-		for _, child := range node.children {
-			node = child
-		}
-		path = append(path, node)
+// treeAt returns the reusable tree scratch for the given recursion depth.
+func (m *Miner) treeAt(depth int) *flatTree {
+	for len(m.trees) <= depth {
+		m.trees = append(m.trees, &flatTree{})
 	}
-}
-
-// itemCount pairs an ingredient with its global occurrence count.
-type itemCount struct {
-	item  ingredient.ID
-	count int
-}
-
-type fpMiner struct {
-	mc    int
-	order []itemCount
-	res   *Result
+	return m.trees[depth]
 }
 
 // maxSinglePath bounds the single-path shortcut: enumerating 2^k - 1
@@ -161,74 +295,107 @@ type fpMiner struct {
 // single-path trees correctly, just more slowly.
 const maxSinglePath = 20
 
-// mine recursively extracts frequent itemsets from the tree; suffix holds
-// item indices already fixed (in any order).
-func (m *fpMiner) mine(tree *fpTree, suffix []int) {
-	if path := tree.singlePath(); path != nil && len(path) <= maxSinglePath {
-		m.emitPathCombinations(path, suffix)
+// mine recursively extracts frequent itemsets from the tree; the items
+// already fixed live on m.suffix, and depth indexes the conditional-tree
+// scratch for the next level.
+func (m *Miner) mine(tree *flatTree, depth int) {
+	path, single := tree.singlePath(m.path[:0])
+	m.path = path
+	if single && len(path) <= maxSinglePath {
+		m.emitPathCombinations(tree, path)
 		return
 	}
 	// Process items from least to most frequent (bottom of the order).
-	for it := tree.nMax - 1; it >= 0; it-- {
-		if !tree.present[it] || tree.counts[it] < m.mc {
+	for it := tree.numItems - 1; it >= 0; it-- {
+		if tree.counts[it] < m.mc {
 			continue
 		}
-		newSuffix := append(append([]int(nil), suffix...), it)
-		m.emit(newSuffix, tree.counts[it])
+		m.suffix = append(m.suffix, int32(it))
+		m.emit(m.suffix, tree.counts[it])
 
-		// Conditional pattern base for it.
-		cond := newFPTree(tree.nMax)
-		prefix := make([]int, 0, 32)
-		for node := tree.heads[it]; node != nil; node = node.next {
-			prefix = prefix[:0]
-			for p := node.parent; p != nil && p.item >= 0; p = p.parent {
-				prefix = append(prefix, p.item)
+		// Conditional pattern base for it. Every ancestor has a smaller
+		// item index, so the conditional tree only needs the range [0, it).
+		cond := m.treeAt(depth)
+		cond.reset(it)
+		for node := tree.heads[it]; node != nilIdx; node = tree.nodes[node].hnext {
+			m.prefix = m.prefix[:0]
+			for p := tree.nodes[node].parent; p != 0; p = tree.nodes[p].parent {
+				m.prefix = append(m.prefix, tree.nodes[p].item)
 			}
-			if len(prefix) == 0 {
+			if len(m.prefix) == 0 {
 				continue
 			}
 			// prefix was collected leaf→root; reverse to ascending order.
-			for l, r := 0, len(prefix)-1; l < r; l, r = l+1, r-1 {
-				prefix[l], prefix[r] = prefix[r], prefix[l]
+			for l, r := 0, len(m.prefix)-1; l < r; l, r = l+1, r-1 {
+				m.prefix[l], m.prefix[r] = m.prefix[r], m.prefix[l]
 			}
-			cond.insert(prefix, node.count)
+			cond.insert(m.prefix, tree.nodes[node].count)
 		}
-		// Drop infrequent items from the conditional tree by rebuilding if
-		// needed; insert-time filtering is equivalent to checking counts
-		// during the recursive scan, which mine() does via m.mc.
-		m.mine(cond, newSuffix)
+		m.mine(cond, depth+1)
+		m.suffix = m.suffix[:len(m.suffix)-1]
 	}
 }
 
 // emitPathCombinations adds every non-empty combination of the single
 // path's nodes (with the path's minimum count along the combination)
-// appended to the suffix.
-func (m *fpMiner) emitPathCombinations(path []*fpNode, suffix []int) {
+// appended to the current suffix.
+func (m *Miner) emitPathCombinations(tree *flatTree, path []int32) {
 	n := len(path)
 	for mask := 1; mask < 1<<n; mask++ {
 		count := 1 << 62
-		items := append([]int(nil), suffix...)
+		m.combo = append(m.combo[:0], m.suffix...)
 		for b := 0; b < n; b++ {
 			if mask&(1<<b) != 0 {
-				items = append(items, path[b].item)
-				if path[b].count < count {
-					count = path[b].count
+				node := &tree.nodes[path[b]]
+				m.combo = append(m.combo, node.item)
+				if node.count < count {
+					count = node.count
 				}
 			}
 		}
 		if count >= m.mc {
-			m.emit(items, count)
+			m.emit(m.combo, count)
 		}
 	}
 }
 
+// emitArenaChunk is the emit arena's allocation granularity: itemset
+// backing storage is carved from chunks this large, so the per-itemset
+// allocation cost is amortized ~chunk/size-fold.
+const emitArenaChunk = 4096
+
 // emit records a frequent itemset, translating item indices back to
-// ingredient IDs sorted ascending.
-func (m *fpMiner) emit(itemIdx []int, count int) {
-	items := make([]ingredient.ID, len(itemIdx))
-	for i, idx := range itemIdx {
-		items[i] = m.order[idx].item
+// ingredient IDs sorted ascending. Backing storage comes from the emit
+// arena; handed-out slices are capacity-capped and never touched again.
+func (m *Miner) emit(itemIdx []int32, count int) {
+	k := len(itemIdx)
+	if len(m.arenaFree) < k {
+		size := emitArenaChunk
+		if k > size {
+			size = k
+		}
+		m.arenaFree = make([]ingredient.ID, size)
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	items := m.arenaFree[:k:k]
+	m.arenaFree = m.arenaFree[k:]
+	for i, idx := range itemIdx {
+		items[i] = m.freq[idx].item
+	}
+	// Insertion sort: itemsets are small (recipe-bounded).
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j] < items[j-1]; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
 	m.res.Sets = append(m.res.Sets, Itemset{Items: items, Count: count})
+}
+
+// sortInt32s sorts small index slices in place (insertion sort; filtered
+// transactions are recipe-sized).
+func sortInt32s(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
 }

@@ -255,22 +255,46 @@ func prune(cand []ingredient.ID, known map[string]bool) bool {
 	return false
 }
 
-// fingerprint encodes a sorted itemset as a compact map key.
+// fingerprint encodes a sorted itemset as a compact map key. Each ID is
+// encoded in full (4 bytes — ingredient.ID is int32), so distinct
+// itemsets never collide; the 2-byte encoding this replaces silently
+// collided for IDs >= 65536.
 func fingerprint(items []ingredient.ID) string {
-	b := make([]byte, 0, len(items)*2)
+	b := make([]byte, 0, len(items)*4)
 	for _, it := range items {
-		b = append(b, byte(it>>8), byte(it))
+		b = append(b, byte(it>>24), byte(it>>16), byte(it>>8), byte(it))
 	}
 	return string(b)
 }
 
 // countCandidates sets Count on each candidate by scanning the filtered
-// transactions with a sorted-merge containment test.
+// transactions. Candidates (all the same size k within a level) are
+// bucketed by their first item, so each transaction only tests
+// candidates whose head it actually contains — instead of the full
+// O(|C|·|T|) cross product — and transactions shorter than k are skipped
+// outright.
 func countCandidates(candidates []Itemset, txs [][]ingredient.ID) {
+	if len(candidates) == 0 {
+		return
+	}
+	k := len(candidates[0].Items)
+	byHead := make(map[ingredient.ID][]int32, len(candidates))
+	for ci := range candidates {
+		h := candidates[ci].Items[0]
+		byHead[h] = append(byHead[h], int32(ci))
+	}
 	for _, tx := range txs {
-		for ci := range candidates {
-			if containsSorted(tx, candidates[ci].Items) {
-				candidates[ci].Count++
+		if len(tx) < k {
+			continue
+		}
+		// A candidate headed at position i needs k-1 more items after it,
+		// so only heads up to len(tx)-k can match.
+		for i := 0; i+k <= len(tx); i++ {
+			for _, ci := range byHead[tx[i]] {
+				c := &candidates[ci]
+				if containsSorted(tx[i+1:], c.Items[1:]) {
+					c.Count++
+				}
 			}
 		}
 	}

@@ -317,6 +317,42 @@ func TestItemsetSupportZeroN(t *testing.T) {
 	}
 }
 
+// TestFingerprintWideIDs pins the 65536 boundary: the old 2-byte
+// encoding collided ID 65536+x with ID x (e.g. 65793 with 257); the
+// 4-byte encoding must keep them distinct and the miners must agree on
+// data that straddles the boundary.
+func TestFingerprintWideIDs(t *testing.T) {
+	pairs := [][2]ingredient.ID{
+		{65536, 0},
+		{65537, 1},
+		{65793, 257},
+		{1 << 24, 0},
+	}
+	for _, p := range pairs {
+		if fingerprint(tx(int(p[0]))) == fingerprint(tx(int(p[1]))) {
+			t.Fatalf("fingerprint collides for IDs %d and %d", p[0], p[1])
+		}
+	}
+	// A corpus whose IDs straddle the boundary: with the collapsed
+	// encoding, Apriori's candidate bookkeeping confused 257 with 65793.
+	txs := [][]ingredient.ID{
+		tx(257, 300), tx(257, 300), tx(65793, 300), tx(65793, 300),
+		tx(257, 65793), tx(257, 65793),
+	}
+	resA, errA := Apriori(txs, 0.3)
+	resF, errF := FPGrowth(txs, 0.3)
+	if errA != nil || errF != nil {
+		t.Fatal(errA, errF)
+	}
+	if !reflect.DeepEqual(resA.Sets, resF.Sets) {
+		t.Fatalf("miners disagree on wide IDs:\nA: %v\nF: %v", resA.Sets, resF.Sets)
+	}
+	got := setsAsMap(resA)
+	if got[fingerprint(tx(257))] != 4 || got[fingerprint(tx(65793))] != 4 {
+		t.Fatalf("wide-ID singleton counts wrong: %v", resA.Sets)
+	}
+}
+
 func BenchmarkFPGrowth1000x9(b *testing.B) {
 	src := randx.New(7)
 	txs := make([][]ingredient.ID, 1000)

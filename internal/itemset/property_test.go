@@ -58,6 +58,106 @@ func TestMiningDuplicateTransactions(t *testing.T) {
 	}
 }
 
+// TestFPGrowthAprioriEquivalence: the flat-memory FP-Growth kernel and
+// Apriori must agree — byte-for-byte in canonical order — on randomized
+// duplicate-heavy transaction pools (the replicate-ensemble shape, where
+// recipes are copies by construction) across a minSupport sweep,
+// including empty and singleton edge cases.
+func TestFPGrowthAprioriEquivalence(t *testing.T) {
+	src := randx.New(4242)
+	supports := []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0}
+	for trial := 0; trial < 25; trial++ {
+		universe := 6 + src.Intn(40)
+		founders := 3 + src.Intn(10)
+		total := founders + src.Intn(200)
+		// Duplicate-heavy pool: founders plus copies with rare mutations.
+		txs := make([][]ingredient.ID, 0, total)
+		for i := 0; i < founders; i++ {
+			size := 1 + src.Intn(7)
+			if size > universe {
+				size = universe
+			}
+			txs = append(txs, tx(src.SampleInts(universe, size)...))
+		}
+		for len(txs) < total {
+			mother := txs[src.Intn(len(txs))]
+			r := append([]ingredient.ID(nil), mother...)
+			if src.Float64() < 0.3 {
+				r[src.Intn(len(r))] = ingredient.ID(src.Intn(universe))
+				r = dedupSorted(r)
+			}
+			txs = append(txs, r)
+		}
+		for _, sup := range supports {
+			resA, errA := Apriori(txs, sup)
+			resF, errF := FPGrowth(txs, sup)
+			if errA != nil || errF != nil {
+				t.Fatal(errA, errF)
+			}
+			if !reflect.DeepEqual(resA.Sets, resF.Sets) {
+				t.Fatalf("trial %d sup %v: kernels disagree in canonical order\nA: %v\nF: %v",
+					trial, sup, resA.Sets, resF.Sets)
+			}
+		}
+	}
+	// Edge cases: empty pool, pool of empty transactions, singletons.
+	edges := [][][]ingredient.ID{
+		{},
+		{tx()},
+		{tx(), tx(), tx()},
+		{tx(5)},
+		{tx(5), tx(5), tx(5)},
+		{tx(1), tx(2), tx(1, 2)},
+	}
+	for i, txs := range edges {
+		for _, sup := range supports {
+			resA, errA := Apriori(txs, sup)
+			resF, errF := FPGrowth(txs, sup)
+			if errA != nil || errF != nil {
+				t.Fatal(errA, errF)
+			}
+			if !reflect.DeepEqual(resA.Sets, resF.Sets) {
+				t.Fatalf("edge %d sup %v: kernels disagree\nA: %v\nF: %v", i, sup, resA.Sets, resF.Sets)
+			}
+		}
+	}
+}
+
+// TestMinerScratchReuseIsClean: a single reused Miner must produce
+// results identical to fresh package-level calls, and earlier results
+// must stay intact after later mines (no aliasing into recycled
+// scratch).
+func TestMinerScratchReuseIsClean(t *testing.T) {
+	miner := NewMiner()
+	src := randx.New(17)
+	var kept []*Result
+	var want []map[string]int
+	for trial := 0; trial < 10; trial++ {
+		txs := make([][]ingredient.ID, 80)
+		for i := range txs {
+			txs[i] = tx(src.SampleInts(12, 1+src.Intn(6))...)
+		}
+		fresh, err := FPGrowth(txs, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := miner.FPGrowth(txs, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh.Sets, got.Sets) {
+			t.Fatalf("trial %d: reused miner diverged from fresh call", trial)
+		}
+		kept = append(kept, got)
+		want = append(want, setsAsMap(got))
+	}
+	for i, res := range kept {
+		if !reflect.DeepEqual(setsAsMap(res), want[i]) {
+			t.Fatalf("result %d mutated by later mines", i)
+		}
+	}
+}
+
 // TestSupersetTransactionsOnlyGrowCounts: widening a transaction can only
 // increase itemset counts (anti-monotonicity of containment).
 func TestSupersetTransactionsOnlyGrowCounts(t *testing.T) {

@@ -1,0 +1,83 @@
+// Package sched is the experiment harness's shared work scheduler: a
+// single place that fans indexed work items out over a bounded worker
+// pool. The Fig 3/4 pipelines flatten their (cuisine × kind × replicate)
+// grids into one item list and run it under one Workers budget, instead
+// of each layer nesting its own pool; replicate ensembles reuse the same
+// primitive. Results are written by index, so output order — and with it
+// every downstream aggregate — is identical to a serial run regardless
+// of scheduling.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(0), …, fn(n-1) under at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). Every item runs exactly once even
+// when some fail; the returned error is the lowest-indexed item's error,
+// so failure reporting is deterministic regardless of schedule. fn must
+// be safe for concurrent invocation on distinct indices.
+func Run(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect runs fn for every index under the worker budget and returns
+// the results in index order — the map-shaped fan-out (mine a view,
+// score a replicate) the pipelines are built from.
+func Collect[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

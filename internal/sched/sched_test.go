@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var counts [n]atomic.Int32
+		if err := Run(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := Run(4, 1, func(i int) error { ran = i == 0; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("single item not run")
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		err := Run(workers, 50, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: want lowest-indexed error 'item 3', got %v", workers, err)
+		}
+	}
+}
+
+func TestRunAllItemsRunDespiteErrors(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := Run(4, 40, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if ran.Load() != 40 {
+		t.Fatalf("only %d of 40 items ran", ran.Load())
+	}
+}
+
+func TestCollectOrdersResults(t *testing.T) {
+	out, err := Collect(8, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if _, err := Collect(2, 3, func(i int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	}); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
