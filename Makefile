@@ -1,6 +1,8 @@
 # Development targets for the cuisinevol reproduction.
 #
 #   make check           CI-grade gate: vet + build + race tests + bench smoke
+#   make ci              what .github/workflows/ci.yml runs: vet + build + race tests
+#   make serve           run the HTTP analytics service on :8080
 #   make bench-baseline  full benchmark run, recorded to BENCH_fig_pipeline.json
 #   make bench-smoke     1-iteration benchmark pass (fast; same JSON output)
 
@@ -10,9 +12,18 @@ GO ?= go
 # pipelines it feeds (see ISSUE/DESIGN "Performance architecture").
 BENCH_PATTERN := FPGrowth|Fig3|Fig4
 
-.PHONY: check vet build test race bench-smoke bench-baseline
+.PHONY: check ci serve vet build test race bench-smoke bench-baseline
 
 check: vet build race bench-smoke
+
+# ci mirrors .github/workflows/ci.yml exactly: the race detector gates
+# the server's cache/coalescing code.
+ci: vet build race
+
+# serve runs the HTTP analytics service (see DESIGN.md §8); Ctrl-C
+# drains connections and exits cleanly.
+serve:
+	$(GO) run ./cmd/cuisinevol serve -addr :8080
 
 vet:
 	$(GO) vet ./...

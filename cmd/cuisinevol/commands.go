@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -77,7 +78,7 @@ func cmdGen(args []string) error {
 	return nil
 }
 
-func cmdExperiment(name string, args []string) error {
+func cmdExperiment(ctx context.Context, name string, args []string) error {
 	cf := newCorpusFlags(name)
 	outDir := cf.fs.String("outdir", "results", "artifact output directory")
 	replicates := cf.fs.Int("replicates", 100, "evolution-model replicates per ensemble (fig4)")
@@ -129,7 +130,7 @@ func cmdExperiment(name string, args []string) error {
 			printFig2(res)
 			fmt.Println(res.Summary())
 		case "fig3":
-			res, err := experiment.RunFig3(cfg)
+			res, err := experiment.RunFig3Ctx(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -140,7 +141,7 @@ func cmdExperiment(name string, args []string) error {
 			if *regions != "" {
 				opts.Regions = strings.Split(*regions, ",")
 			}
-			res, err := experiment.RunFig4(cfg, opts)
+			res, err := experiment.RunFig4Ctx(ctx, cfg, opts)
 			if err != nil {
 				return err
 			}
@@ -267,7 +268,7 @@ func cmdOverrep(args []string) error {
 	return tbl.WriteText(os.Stdout)
 }
 
-func cmdEvolve(args []string) error {
+func cmdEvolve(ctx context.Context, args []string) error {
 	cf := newCorpusFlags("evolve")
 	region := cf.fs.String("region", "ITA", "region code")
 	model := cf.fs.String("model", "CM-R", "model: CM-R, CM-C, CM-M or NM")
@@ -294,7 +295,7 @@ func cmdEvolve(args []string) error {
 		return err
 	}
 	emp := rankfreq.FromResult(code, empirical)
-	dist, err := evomodel.RunEnsemble(evomodel.EnsembleConfig{
+	dist, err := evomodel.RunEnsembleCtx(ctx, evomodel.EnsembleConfig{
 		Params:     evomodel.ParamsForView(view, kind, cf.seed),
 		Replicates: *replicates,
 		MinSupport: *support,

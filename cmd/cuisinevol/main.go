@@ -20,6 +20,7 @@
 //	overrep  print a cuisine's most overrepresented ingredients
 //	evolve   run one evolution model for a cuisine
 //	resolve  resolve free-text ingredient mentions against the lexicon
+//	serve    run the HTTP analytics service (cached JSON API over every pipeline)
 //
 // Extensions (paper §VII and motivating literature):
 //
@@ -34,11 +35,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 )
 
 // Global profiling flags, placed before the command:
@@ -95,19 +99,26 @@ func run(argv []string) int {
 			}
 		}()
 	}
+	// Ctrl-C / SIGTERM cancel the command context; the heavy pipelines
+	// (fig3, fig4, evolve, serve) stop scheduling work and return, so
+	// profiles still flush and long runs are interruptible.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := argv[0], argv[1:]
 	var err error
 	switch cmd {
 	case "gen":
 		err = cmdGen(args)
 	case "table1", "fig1", "fig2", "fig3", "fig4", "all":
-		err = cmdExperiment(cmd, args)
+		err = cmdExperiment(ctx, cmd, args)
 	case "mine":
 		err = cmdMine(args)
 	case "overrep":
 		err = cmdOverrep(args)
 	case "evolve":
-		err = cmdEvolve(args)
+		err = cmdEvolve(ctx, args)
+	case "serve":
+		err = cmdServe(ctx, args)
 	case "resolve":
 		err = cmdResolve(args)
 	case "pairing":
@@ -153,6 +164,7 @@ commands:
   overrep  print a cuisine's most overrepresented ingredients
   evolve   run one evolution model for a cuisine
   resolve  resolve free-text ingredient mentions against the lexicon
+  serve    run the HTTP analytics service (cached JSON API over every pipeline)
 
 extensions (paper §VII and motivating literature):
   pairing     food-pairing analysis over synthetic flavor profiles

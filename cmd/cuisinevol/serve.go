@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"cuisinevol/internal/server"
+)
+
+// cmdServe runs the HTTP analytics service: every pipeline behind a
+// JSON API with content-addressed result caching, request coalescing
+// and a bounded compute pool (see internal/server). The command blocks
+// until ctx is cancelled (Ctrl-C / SIGTERM), then shuts down
+// gracefully, draining in-flight connections.
+func cmdServe(ctx context.Context, args []string) error {
+	cf := newCorpusFlags("serve")
+	addr := cf.fs.String("addr", ":8080", "listen address")
+	support := cf.fs.Float64("support", 0.05, "default minimum combination support")
+	replicates := cf.fs.Int("replicates", 100, "default evolution-model replicates per ensemble")
+	workers := cf.fs.Int("workers", 0, "parallel workers per computation (0 = GOMAXPROCS)")
+	compute := cf.fs.Int("compute", 2, "concurrent pipeline computations (the compute-pool size)")
+	cacheMB := cf.fs.Int("cache-mb", 64, "result-cache budget in MiB")
+	drain := cf.fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	opts := server.Options{
+		Seed:        cf.seed,
+		RecipeScale: cf.scale,
+		MinSupport:  *support,
+		Replicates:  *replicates,
+		Workers:     *workers,
+		Compute:     *compute,
+		CacheBytes:  int64(*cacheMB) << 20,
+	}
+	if cf.load != "" {
+		corpus, err := cf.corpus()
+		if err != nil {
+			return err
+		}
+		opts.Corpus = corpus
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "cuisinevol serve: listening on %s (corpus %s, compute=%d, cache=%dMiB)\n",
+		ln.Addr(), srv.Fingerprint(), *compute, *cacheMB)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "cuisinevol serve: shutting down, draining connections")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package evomodel
 
 import (
+	"context"
 	"fmt"
 
 	"cuisinevol/internal/ingredient"
@@ -35,7 +36,16 @@ type EnsembleConfig struct {
 // Replicate r uses seed Params.Seed + r mixed through the splittable RNG,
 // so ensembles are reproducible and replicates independent.
 func RunEnsemble(cfg EnsembleConfig, lex *ingredient.Lexicon) (rankfreq.Distribution, error) {
-	agg, _, err := runEnsemble(cfg, lex)
+	agg, _, err := runEnsemble(context.Background(), cfg, lex)
+	return agg, err
+}
+
+// RunEnsembleCtx is RunEnsemble with cooperative cancellation: once ctx
+// is cancelled no further replicates are scheduled and the call returns
+// ctx.Err(). Replicate seeding is unchanged, so a completed run is
+// bit-identical to RunEnsemble.
+func RunEnsembleCtx(ctx context.Context, cfg EnsembleConfig, lex *ingredient.Lexicon) (rankfreq.Distribution, error) {
+	agg, _, err := runEnsemble(ctx, cfg, lex)
 	return agg, err
 }
 
@@ -64,14 +74,14 @@ func (d *EnsembleDetail) ReplicateDistances(ref rankfreq.Distribution, metric ra
 // RunEnsembleDetailed is RunEnsemble keeping the per-replicate
 // distributions.
 func RunEnsembleDetailed(cfg EnsembleConfig, lex *ingredient.Lexicon) (*EnsembleDetail, error) {
-	agg, reps, err := runEnsemble(cfg, lex)
+	agg, reps, err := runEnsemble(context.Background(), cfg, lex)
 	if err != nil {
 		return nil, err
 	}
 	return &EnsembleDetail{Aggregate: agg, Replicates: reps}, nil
 }
 
-func runEnsemble(cfg EnsembleConfig, lex *ingredient.Lexicon) (rankfreq.Distribution, []rankfreq.Distribution, error) {
+func runEnsemble(ctx context.Context, cfg EnsembleConfig, lex *ingredient.Lexicon) (rankfreq.Distribution, []rankfreq.Distribution, error) {
 	if cfg.Replicates < 1 {
 		return rankfreq.Distribution{}, nil, fmt.Errorf("evomodel: Replicates must be >= 1, got %d", cfg.Replicates)
 	}
@@ -84,7 +94,7 @@ func runEnsemble(cfg EnsembleConfig, lex *ingredient.Lexicon) (rankfreq.Distribu
 	}
 
 	dists := make([]rankfreq.Distribution, cfg.Replicates)
-	if err := sched.Run(cfg.Workers, cfg.Replicates, func(rep int) error {
+	if err := sched.RunCtx(ctx, cfg.Workers, cfg.Replicates, func(rep int) error {
 		var err error
 		dists[rep], err = runReplicate(cfg, lex, label, rep)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -40,6 +41,13 @@ type Fig3Result struct {
 // RunFig3 reproduces Fig 3: invariance of the rank-frequency
 // distributions of frequent ingredient and category combinations.
 func RunFig3(cfg *Config) (*Fig3Result, error) {
+	return RunFig3Ctx(context.Background(), cfg)
+}
+
+// RunFig3Ctx is RunFig3 with cooperative cancellation: the per-cuisine
+// mining fan-out stops scheduling new work once ctx is cancelled and the
+// call returns ctx.Err().
+func RunFig3Ctx(ctx context.Context, cfg *Config) (*Fig3Result, error) {
 	corpus, err := cfg.Corpus()
 	if err != nil {
 		return nil, err
@@ -49,11 +57,11 @@ func RunFig3(cfg *Config) (*Fig3Result, error) {
 		minSupport = 0.05
 	}
 	res := &Fig3Result{}
-	res.Ingredients, err = buildPanel(corpus, minSupport, false, cfg.Workers)
+	res.Ingredients, err = buildPanel(ctx, corpus, minSupport, false, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fig3a: %w", err)
 	}
-	res.Categories, err = buildPanel(corpus, minSupport, true, cfg.Workers)
+	res.Categories, err = buildPanel(ctx, corpus, minSupport, true, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fig3b: %w", err)
 	}
@@ -107,10 +115,10 @@ func RunFig3(cfg *Config) (*Fig3Result, error) {
 // mines plus the aggregate mine are independent work items fanned out
 // through the shared scheduler; results land in Table I order, so the
 // panel is identical to the serial build.
-func buildPanel(corpus *recipe.Corpus, minSupport float64, categories bool, workers int) (Fig3Panel, error) {
+func buildPanel(ctx context.Context, corpus *recipe.Corpus, minSupport float64, categories bool, workers int) (Fig3Panel, error) {
 	panel := Fig3Panel{}
 	regions := cuisine.All()
-	dists, err := sched.Collect(workers, len(regions)+1, func(i int) (rankfreq.Distribution, error) {
+	dists, err := sched.CollectCtx(ctx, workers, len(regions)+1, func(i int) (rankfreq.Distribution, error) {
 		if i == len(regions) {
 			// The aggregate corpus mine (the "ALL" series) is the largest
 			// item; it runs alongside the per-cuisine mines.

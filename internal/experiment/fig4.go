@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -61,6 +62,15 @@ type Fig4Options struct {
 // rank-frequency distribution of frequent combinations against each
 // model's 100-replicate aggregate, scored with Eq 2.
 func RunFig4(cfg *Config, opts Fig4Options) (*Fig4Result, error) {
+	return RunFig4Ctx(context.Background(), cfg, opts)
+}
+
+// RunFig4Ctx is RunFig4 with cooperative cancellation: the flattened
+// (cuisine × kind × replicate) grid stops scheduling new replicates once
+// ctx is cancelled and the call returns ctx.Err(), so an abandoned run
+// stops burning CPU almost immediately instead of finishing thousands of
+// model replicates nobody will read.
+func RunFig4Ctx(ctx context.Context, cfg *Config, opts Fig4Options) (*Fig4Result, error) {
 	corpus, err := cfg.Corpus()
 	if err != nil {
 		return nil, err
@@ -131,7 +141,7 @@ func RunFig4(cfg *Config, opts Fig4Options) (*Fig4Result, error) {
 	}
 
 	// Empirical mines, one work item per cuisine.
-	empirical, err := sched.Collect(cfg.Workers, len(regions), func(r int) (rankfreq.Distribution, error) {
+	empirical, err := sched.CollectCtx(ctx, cfg.Workers, len(regions), func(r int) (rankfreq.Distribution, error) {
 		return mineView(corpus.Region(regions[r]), minSupport, opts.Categories)
 	})
 	if err != nil {
@@ -143,7 +153,7 @@ func RunFig4(cfg *Config, opts Fig4Options) (*Fig4Result, error) {
 	for e := range repDists {
 		repDists[e] = make([]rankfreq.Distribution, replicates)
 	}
-	if err := sched.Run(cfg.Workers, len(ensembles)*replicates, func(i int) error {
+	if err := sched.RunCtx(ctx, cfg.Workers, len(ensembles)*replicates, func(i int) error {
 		e, rep := i/replicates, i%replicates
 		d, err := evomodel.ReplicateDistribution(ensembles[e], lex, rep)
 		if err != nil {

@@ -9,6 +9,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,8 +21,19 @@ import (
 // so failure reporting is deterministic regardless of schedule. fn must
 // be safe for concurrent invocation on distinct indices.
 func Run(workers, n int, fn func(i int) error) error {
+	return RunCtx(context.Background(), workers, n, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is cancelled no
+// new items are scheduled (items already running finish normally, so fn
+// never races with a return) and the call reports ctx.Err(). Items that
+// did run keep exactly-once semantics, so a caller that retries after a
+// cancellation can safely re-run the whole grid. Cancellation takes
+// precedence over item errors: a half-finished grid's failures are an
+// artifact of where the axe fell, not a deterministic report.
+func RunCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -32,20 +44,32 @@ func Run(workers, n int, fn func(i int) error) error {
 	if workers == 1 {
 		var first error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil && first == nil {
 				first = err
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		return first
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -55,6 +79,9 @@ func Run(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -67,8 +94,13 @@ func Run(workers, n int, fn func(i int) error) error {
 // the results in index order — the map-shaped fan-out (mine a view,
 // score a replicate) the pipelines are built from.
 func Collect[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return CollectCtx(context.Background(), workers, n, fn)
+}
+
+// CollectCtx is Collect with cooperative cancellation (see RunCtx).
+func CollectCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Run(workers, n, func(i int) error {
+	err := RunCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

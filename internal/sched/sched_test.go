@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -67,6 +68,71 @@ func TestRunAllItemsRunDespiteErrors(t *testing.T) {
 	}
 	if ran.Load() != 40 {
 		t.Fatalf("only %d of 40 items ran", ran.Load())
+	}
+}
+
+func TestRunCtxStopsSchedulingAfterCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 1000
+		var ran atomic.Int32
+		err := RunCtx(ctx, workers, n, func(i int) error {
+			// Cancel early: items already picked up may still finish, but
+			// no new items may start afterwards.
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		// Each worker may finish its in-flight item and claim at most one
+		// more around the cancellation window; the bulk of the 1000-item
+		// grid must never be scheduled.
+		if got := ran.Load(); int(got) > 5+2*workers {
+			t.Fatalf("workers=%d: %d items ran after cancellation (want <= %d)", workers, got, 5+2*workers)
+		}
+	}
+}
+
+func TestRunCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := RunCtx(ctx, 4, 100, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The multi-worker path may admit at most one item per worker between
+	// the Done check and the index claim; in practice a pre-cancelled ctx
+	// schedules nothing.
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("%d items ran under a pre-cancelled context", got)
+	}
+}
+
+func TestRunCtxCancellationBeatsItemErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := RunCtx(ctx, 2, 50, func(i int) error {
+		if i == 0 {
+			cancel()
+			return errors.New("item error")
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled to take precedence, got %v", err)
+	}
+}
+
+func TestCollectCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CollectCtx(ctx, 2, 10, func(i int) (int, error) { return i, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 

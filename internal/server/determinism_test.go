@@ -1,0 +1,60 @@
+package server
+
+import (
+	"testing"
+)
+
+// TestResponsesAreByteDeterministic computes the same endpoints on two
+// independent servers over the same corpus and requires identical
+// bytes: the content-addressed cache and HTTP caching headers are only
+// sound if a recomputation can never produce different bytes for the
+// same key.
+func TestResponsesAreByteDeterministic(t *testing.T) {
+	_, tsA := newTestServer(t)
+	_, tsB := newTestServer(t)
+	paths := []string{
+		"/v1/cuisines",
+		"/v1/table1",
+		"/v1/fig1",
+		"/v1/fig2",
+		"/v1/fig3",
+		"/v1/fig4?regions=ITA,USA&replicates=2&dists=true",
+		"/v1/mine?region=KOR&top=15",
+		"/v1/overrep?region=USA&k=5",
+		"/v1/evolve?region=ITA&model=CM-R&replicates=2",
+	}
+	for _, path := range paths {
+		respA, bodyA := get(t, tsA, path)
+		respB, bodyB := get(t, tsB, path)
+		if respA.StatusCode != 200 || respB.StatusCode != 200 {
+			t.Fatalf("GET %s: statuses %d/%d", path, respA.StatusCode, respB.StatusCode)
+		}
+		if string(bodyA) != string(bodyB) {
+			t.Fatalf("GET %s: fresh computations produced different bytes\nA: %.200s\nB: %.200s", path, bodyA, bodyB)
+		}
+		if respA.Header.Get("ETag") != respB.Header.Get("ETag") {
+			t.Fatalf("GET %s: ETags differ across servers", path)
+		}
+	}
+}
+
+// TestFingerprintTracksCorpusContent: the same corpus must fingerprint
+// identically across servers (it keys the shared cache), and the
+// fingerprint must be derived from content, not identity.
+func TestFingerprintTracksCorpusContent(t *testing.T) {
+	corpus := testCorpus(t)
+	a, err := New(Options{Corpus: corpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Corpus: corpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same corpus, different fingerprints")
+	}
+	if len(a.Fingerprint()) != 32 {
+		t.Fatalf("fingerprint %q not 128-bit hex", a.Fingerprint())
+	}
+}

@@ -1,0 +1,486 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cuisinevol/internal/cuisine"
+	"cuisinevol/internal/evomodel"
+	"cuisinevol/internal/experiment"
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/itemset"
+	"cuisinevol/internal/overrep"
+	"cuisinevol/internal/rankfreq"
+)
+
+// routes registers every endpoint. All /v1/ endpoints are GET-only and
+// flow through serveComputed (cache → coalesce → compute); /healthz and
+// /metrics are served directly.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	register := func(path string, h http.HandlerFunc) {
+		s.mux.Handle("GET "+path, s.instrument(path, h))
+	}
+	register("/healthz", s.handleHealthz)
+	register("/metrics", s.handleMetrics)
+	register("/v1/cuisines", s.handleCuisines)
+	register("/v1/table1", s.handleTable1)
+	register("/v1/fig1", s.handleFig1)
+	register("/v1/fig2", s.handleFig2)
+	register("/v1/fig3", s.handleFig3)
+	register("/v1/fig4", s.handleFig4)
+	register("/v1/mine", s.handleMine)
+	register("/v1/overrep", s.handleOverrep)
+	register("/v1/evolve", s.handleEvolve)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body, _ := marshalDeterministic(map[string]any{
+		"status":  "ok",
+		"corpus":  s.fingerprint,
+		"recipes": s.corpus.Len(),
+	})
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w, s.cache)
+}
+
+// cuisineInfo is one row of /v1/cuisines.
+type cuisineInfo struct {
+	Code              string `json:"code"`
+	Name              string `json:"name"`
+	Recipes           int    `json:"recipes"`
+	UniqueIngredients int    `json:"unique_ingredients"`
+}
+
+func (s *Server) handleCuisines(w http.ResponseWriter, r *http.Request) {
+	s.serveComputed(w, r, "/v1/cuisines", "", func(ctx context.Context) (any, error) {
+		out := make([]cuisineInfo, 0, cuisine.Count)
+		for _, region := range cuisine.All() {
+			view := s.corpus.Region(region.Code)
+			out = append(out, cuisineInfo{
+				Code:              region.Code,
+				Name:              region.Name,
+				Recipes:           view.Len(),
+				UniqueIngredients: view.UniqueIngredients(),
+			})
+		}
+		return map[string]any{"cuisines": out}, nil
+	})
+}
+
+// table1Row is one row of /v1/table1.
+type table1Row struct {
+	Code               string   `json:"code"`
+	Name               string   `json:"name"`
+	Recipes            int      `json:"recipes"`
+	UniqueIngredients  int      `json:"unique_ingredients"`
+	TopOverrepresented []string `json:"top_overrepresented"`
+	PaperTop           []string `json:"paper_top"`
+	Matches            int      `json:"matches"`
+}
+
+func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
+	s.serveComputed(w, r, "/v1/table1", "", func(ctx context.Context) (any, error) {
+		res, err := experiment.RunTableI(s.config(s.opts.Replicates))
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]table1Row, len(res.Rows))
+		for i, row := range res.Rows {
+			rows[i] = table1Row{
+				Code:               row.Code,
+				Name:               row.Name,
+				Recipes:            row.Recipes,
+				UniqueIngredients:  row.UniqueIngredients,
+				TopOverrepresented: row.TopOverrepresented,
+				PaperTop:           row.PaperTop,
+				Matches:            row.Matches,
+			}
+		}
+		return map[string]any{
+			"rows":            rows,
+			"total_recipes":   res.TotalRecipes,
+			"avg_recipes":     res.AvgRecipes,
+			"avg_ingredients": res.AvgIngredients,
+		}, nil
+	})
+}
+
+func (s *Server) handleFig1(w http.ResponseWriter, r *http.Request) {
+	s.serveComputed(w, r, "/v1/fig1", "", func(ctx context.Context) (any, error) {
+		return experiment.RunFig1(s.config(s.opts.Replicates))
+	})
+}
+
+func (s *Server) handleFig2(w http.ResponseWriter, r *http.Request) {
+	s.serveComputed(w, r, "/v1/fig2", "", func(ctx context.Context) (any, error) {
+		res, err := experiment.RunFig2(s.config(s.opts.Replicates))
+		if err != nil {
+			return nil, err
+		}
+		leading := make([]string, len(res.Leading))
+		for i, c := range res.Leading {
+			leading[i] = c.String()
+		}
+		boxes := make(map[string]any, ingredient.NumCategories)
+		for c, b := range res.Boxes {
+			boxes[ingredient.Category(c).String()] = map[string]float64{
+				"whisker_low": b.WhiskLo, "q1": b.Q1, "median": b.Med, "q3": b.Q3, "whisker_high": b.WhiskHi,
+			}
+		}
+		return map[string]any{"means": res.Means, "boxes": boxes, "leading": leading}, nil
+	})
+}
+
+// figPanel is the serialized form of one Fig 3 panel.
+type figPanel struct {
+	MeanMAE      float64              `json:"mean_mae"`
+	MostDistinct []string             `json:"most_distinct"`
+	Dists        map[string][]float64 `json:"dists"`
+}
+
+func toPanel(p experiment.Fig3Panel) figPanel {
+	out := figPanel{MeanMAE: p.MeanMAE, MostDistinct: p.MostDistinct, Dists: make(map[string][]float64, len(p.Dists))}
+	for _, d := range p.Dists {
+		out.Dists[d.Label] = d.Freqs
+	}
+	return out
+}
+
+func (s *Server) handleFig3(w http.ResponseWriter, r *http.Request) {
+	support, err := parseFloat(r, "support", s.opts.MinSupport, 0, 1)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	canon := canonicalParams("support", support)
+	s.serveComputed(w, r, "/v1/fig3", canon, func(ctx context.Context) (any, error) {
+		cfg := s.config(s.opts.Replicates)
+		cfg.MinSupport = support
+		res, err := experiment.RunFig3Ctx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]figPanel{
+			"ingredients": toPanel(res.Ingredients),
+			"categories":  toPanel(res.Categories),
+		}, nil
+	})
+}
+
+// fig4Row is one cuisine's model comparison in /v1/fig4.
+type fig4Row struct {
+	Region string             `json:"region"`
+	MAE    map[string]float64 `json:"mae"`
+	Best   string             `json:"best"`
+}
+
+func (s *Server) handleFig4(w http.ResponseWriter, r *http.Request) {
+	replicates, err := parseInt(r, "replicates", s.opts.Replicates, 1, 10000)
+	categories, cerr := parseBool(r, "categories", false)
+	regions, rerr := parseRegions(r, s.corpus.Regions())
+	dists, derr := parseBool(r, "dists", false)
+	if err = firstErr(err, cerr, rerr, derr); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	canon := canonicalParams(
+		"categories", categories,
+		"dists", dists,
+		"regions", strings.Join(regions, ","),
+		"replicates", replicates,
+	)
+	s.serveComputed(w, r, "/v1/fig4", canon, func(ctx context.Context) (any, error) {
+		cfg := s.config(replicates)
+		res, err := experiment.RunFig4Ctx(ctx, cfg, experiment.Fig4Options{
+			Categories: categories,
+			Regions:    regions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]fig4Row, len(res.Rows))
+		for i, row := range res.Rows {
+			mae := make(map[string]float64, len(row.MAE))
+			for kind, v := range row.MAE {
+				mae[kind.String()] = v
+			}
+			rows[i] = fig4Row{Region: row.Region, MAE: mae, Best: row.Best.String()}
+		}
+		best := make(map[string]int, len(res.BestCounts))
+		for kind, n := range res.BestCounts {
+			best[kind.String()] = n
+		}
+		out := map[string]any{
+			"categories":            res.Categories,
+			"rows":                  rows,
+			"best_counts":           best,
+			"null_worst_everywhere": res.NullWorstEverywhere,
+			"replicates":            replicates,
+		}
+		if dists {
+			empirical := make(map[string][]float64, len(res.Empirical))
+			for code, d := range res.Empirical {
+				empirical[code] = d.Freqs
+			}
+			models := make(map[string]map[string][]float64, len(res.Models))
+			for code, byKind := range res.Models {
+				m := make(map[string][]float64, len(byKind))
+				for kind, d := range byKind {
+					m[kind.String()] = d.Freqs
+				}
+				models[code] = m
+			}
+			out["empirical"] = empirical
+			out["models"] = models
+		}
+		return out, nil
+	})
+}
+
+// minedSet is one frequent combination in /v1/mine.
+type minedSet struct {
+	Items   []string `json:"items"`
+	Count   int      `json:"count"`
+	Support float64  `json:"support"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	region, err := s.parseRegion(r)
+	support, serr := parseFloat(r, "support", s.opts.MinSupport, 0, 1)
+	top, terr := parseInt(r, "top", 25, 1, 100000)
+	categories, cerr := parseBool(r, "categories", false)
+	if err = firstErr(err, serr, terr, cerr); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	canon := canonicalParams("categories", categories, "region", region, "support", support, "top", top)
+	s.serveComputed(w, r, "/v1/mine", canon, func(ctx context.Context) (any, error) {
+		view := s.corpus.Region(region)
+		txs := view.Transactions()
+		if categories {
+			txs = view.CategoryTransactions()
+		}
+		res, err := itemset.FPGrowth(txs, support)
+		if err != nil {
+			return nil, err
+		}
+		lex := s.corpus.Lexicon()
+		sets := make([]minedSet, 0, min(top, len(res.Sets)))
+		for i, set := range res.Sets {
+			if i >= top {
+				break
+			}
+			names := make([]string, len(set.Items))
+			for j, id := range set.Items {
+				if categories {
+					names[j] = ingredient.Category(id).String()
+				} else {
+					names[j] = lex.Name(id)
+				}
+			}
+			sets = append(sets, minedSet{Items: names, Count: set.Count, Support: set.Support(res.N)})
+		}
+		return map[string]any{"region": region, "total": len(res.Sets), "sets": sets}, nil
+	})
+}
+
+// overrepRow is one ranked ingredient in /v1/overrep.
+type overrepRow struct {
+	Ingredient string  `json:"ingredient"`
+	Category   string  `json:"category"`
+	Score      float64 `json:"score"`
+}
+
+func (s *Server) handleOverrep(w http.ResponseWriter, r *http.Request) {
+	region, err := s.parseRegion(r)
+	k, kerr := parseInt(r, "k", 10, 1, 1000)
+	if err = firstErr(err, kerr); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	canon := canonicalParams("k", k, "region", region)
+	s.serveComputed(w, r, "/v1/overrep", canon, func(ctx context.Context) (any, error) {
+		topK, err := overrep.New(s.corpus).TopK(region, k)
+		if err != nil {
+			return nil, err
+		}
+		lex := s.corpus.Lexicon()
+		rows := make([]overrepRow, len(topK))
+		for i, res := range topK {
+			rows[i] = overrepRow{
+				Ingredient: lex.Name(res.ID),
+				Category:   lex.CategoryOf(res.ID).String(),
+				Score:      res.Score,
+			}
+		}
+		return map[string]any{"region": region, "ingredients": rows}, nil
+	})
+}
+
+func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
+	region, err := s.parseRegion(r)
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		model = "CM-R"
+	}
+	kind, merr := parseModelKind(model)
+	replicates, rerr := parseInt(r, "replicates", s.opts.Replicates, 1, 10000)
+	support, serr := parseFloat(r, "support", s.opts.MinSupport, 0, 1)
+	if err = firstErr(err, merr, rerr, serr); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	canon := canonicalParams("model", kind.String(), "region", region, "replicates", replicates, "support", support)
+	s.serveComputed(w, r, "/v1/evolve", canon, func(ctx context.Context) (any, error) {
+		view := s.corpus.Region(region)
+		empirical, err := itemset.FPGrowth(view.Transactions(), support)
+		if err != nil {
+			return nil, err
+		}
+		emp := rankfreq.FromResult(region, empirical)
+		dist, err := evomodel.RunEnsembleCtx(ctx, evomodel.EnsembleConfig{
+			Params:     evomodel.ParamsForView(view, kind, s.opts.Seed),
+			Replicates: replicates,
+			MinSupport: support,
+			Workers:    s.opts.Workers,
+		}, s.corpus.Lexicon())
+		if err != nil {
+			return nil, err
+		}
+		mae, err := rankfreq.PaperMAE(emp, dist)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"region":     region,
+			"model":      kind.String(),
+			"replicates": replicates,
+			"mae":        mae,
+			"empirical":  emp.Freqs,
+			"modeled":    dist.Freqs,
+		}, nil
+	})
+}
+
+// --- parameter parsing -------------------------------------------------
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseFloat(r *http.Request, name string, def, lo, hi float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, badRequest("invalid %s %q: %v", name, raw, err)
+	}
+	if v <= lo || v > hi {
+		return 0, badRequest("%s must be in (%g, %g], got %g", name, lo, hi, v)
+	}
+	return v, nil
+}
+
+func parseInt(r *http.Request, name string, def, lo, hi int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("invalid %s %q: %v", name, raw, err)
+	}
+	if v < lo || v > hi {
+		return 0, badRequest("%s must be in [%d, %d], got %d", name, lo, hi, v)
+	}
+	return v, nil
+}
+
+func parseBool(r *http.Request, name string, def bool) (bool, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, badRequest("invalid %s %q: %v", name, raw, err)
+	}
+	return v, nil
+}
+
+// parseRegion reads and validates the region parameter against the
+// served corpus; a missing region is a 400, an unknown cuisine a 404 —
+// the resource (that cuisine's recipes) does not exist.
+func (s *Server) parseRegion(r *http.Request) (string, error) {
+	code := strings.ToUpper(strings.TrimSpace(r.URL.Query().Get("region")))
+	if code == "" {
+		return "", badRequest("missing required parameter region")
+	}
+	if s.corpus.Region(code).Len() == 0 {
+		return "", notFound("unknown cuisine %q", code)
+	}
+	return code, nil
+}
+
+// parseModelKind maps a model name to its evomodel.Kind.
+func parseModelKind(s string) (evomodel.Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "CM-R", "CMR", "RANDOM":
+		return evomodel.CMRandom, nil
+	case "CM-C", "CMC", "CATEGORY":
+		return evomodel.CMCategory, nil
+	case "CM-M", "CMM", "MIXTURE":
+		return evomodel.CMMixture, nil
+	case "NM", "NULL":
+		return evomodel.NullModel, nil
+	}
+	return 0, badRequest("unknown model %q (use CM-R, CM-C, CM-M or NM)", s)
+}
+
+// parseRegions reads the comma-separated regions parameter, defaulting
+// to every cuisine in the paper's Table I order, validating each code
+// against the corpus.
+func parseRegions(r *http.Request, known []string) ([]string, error) {
+	raw := r.URL.Query().Get("regions")
+	if raw == "" {
+		return nil, nil // RunFig4 defaults to all 25
+	}
+	knownSet := make(map[string]bool, len(known))
+	for _, code := range known {
+		knownSet[code] = true
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		code := strings.ToUpper(strings.TrimSpace(p))
+		if code == "" {
+			continue
+		}
+		if !knownSet[code] {
+			return nil, notFound("unknown cuisine %q", code)
+		}
+		out = append(out, code)
+	}
+	if len(out) == 0 {
+		return nil, badRequest("regions parameter is empty")
+	}
+	sort.Strings(out)
+	return out, nil
+}

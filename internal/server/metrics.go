@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. They span
+// sub-millisecond cache hits through multi-minute full-scale Fig 4
+// ensembles.
+var latencyBuckets = [numBuckets]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
+const numBuckets = 9
+
+// metrics is a dependency-free Prometheus-style registry covering the
+// serving layer: per-endpoint request counts and latency histograms,
+// cache traffic, coalescing, and compute-pool occupancy. Exposition is
+// deterministic (sorted label sets) so /metrics itself is testable.
+type metrics struct {
+	mu sync.Mutex
+	// requests[endpoint][status] counts completed requests.
+	requests map[string]map[int]uint64
+	// latency[endpoint] is a cumulative histogram over latencyBuckets.
+	latency map[string]*histogram
+
+	coalesced    atomic.Uint64 // requests served by joining another's computation
+	computations atomic.Uint64 // underlying pipeline computations executed
+	inflight     atomic.Int64  // computations currently holding a compute slot
+	waiting      atomic.Int64  // computations queued on the compute semaphore
+}
+
+type histogram struct {
+	counts [numBuckets + 1]uint64 // +Inf bucket last
+	sum    float64
+	total  uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(endpoint string, status int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[endpoint]
+	if byStatus == nil {
+		byStatus = make(map[int]uint64)
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[status]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.latency[endpoint] = h
+	}
+	idx := numBuckets
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.sum += seconds
+	h.total++
+}
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (version 0.0.4). Families and label values are emitted in sorted
+// order.
+func (m *metrics) WriteTo(w io.Writer, cache *resultCache) error {
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+
+	var b []byte
+	appendf := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+
+	appendf("# HELP cuisinevol_http_requests_total Completed HTTP requests by endpoint and status code.\n")
+	appendf("# TYPE cuisinevol_http_requests_total counter\n")
+	for _, ep := range endpoints {
+		statuses := make([]int, 0, len(m.requests[ep]))
+		for s := range m.requests[ep] {
+			statuses = append(statuses, s)
+		}
+		sort.Ints(statuses)
+		for _, s := range statuses {
+			appendf("cuisinevol_http_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, s, m.requests[ep][s])
+		}
+	}
+
+	appendf("# HELP cuisinevol_http_request_duration_seconds Request latency by endpoint.\n")
+	appendf("# TYPE cuisinevol_http_request_duration_seconds histogram\n")
+	for _, ep := range endpoints {
+		h := m.latency[ep]
+		if h == nil {
+			continue
+		}
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			appendf("cuisinevol_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		cum += h.counts[numBuckets]
+		appendf("cuisinevol_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		appendf("cuisinevol_http_request_duration_seconds_sum{endpoint=%q} %s\n",
+			ep, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		appendf("cuisinevol_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+	m.mu.Unlock()
+
+	hits, misses, evictions, used, entries := cache.Stats()
+	appendf("# HELP cuisinevol_cache_hits_total Result-cache hits.\n")
+	appendf("# TYPE cuisinevol_cache_hits_total counter\n")
+	appendf("cuisinevol_cache_hits_total %d\n", hits)
+	appendf("# HELP cuisinevol_cache_misses_total Result-cache misses.\n")
+	appendf("# TYPE cuisinevol_cache_misses_total counter\n")
+	appendf("cuisinevol_cache_misses_total %d\n", misses)
+	appendf("# HELP cuisinevol_cache_evictions_total Entries evicted to fit the byte budget.\n")
+	appendf("# TYPE cuisinevol_cache_evictions_total counter\n")
+	appendf("cuisinevol_cache_evictions_total %d\n", evictions)
+	appendf("# HELP cuisinevol_cache_bytes Bytes of response bodies currently cached.\n")
+	appendf("# TYPE cuisinevol_cache_bytes gauge\n")
+	appendf("cuisinevol_cache_bytes %d\n", used)
+	appendf("# HELP cuisinevol_cache_entries Entries currently cached.\n")
+	appendf("# TYPE cuisinevol_cache_entries gauge\n")
+	appendf("cuisinevol_cache_entries %d\n", entries)
+
+	appendf("# HELP cuisinevol_coalesced_requests_total Requests served by joining an identical in-flight computation.\n")
+	appendf("# TYPE cuisinevol_coalesced_requests_total counter\n")
+	appendf("cuisinevol_coalesced_requests_total %d\n", m.coalesced.Load())
+	appendf("# HELP cuisinevol_computations_total Underlying pipeline computations executed.\n")
+	appendf("# TYPE cuisinevol_computations_total counter\n")
+	appendf("cuisinevol_computations_total %d\n", m.computations.Load())
+	appendf("# HELP cuisinevol_compute_inflight Computations currently holding a compute slot.\n")
+	appendf("# TYPE cuisinevol_compute_inflight gauge\n")
+	appendf("cuisinevol_compute_inflight %d\n", m.inflight.Load())
+	appendf("# HELP cuisinevol_compute_waiting Computations queued for a compute slot.\n")
+	appendf("# TYPE cuisinevol_compute_waiting gauge\n")
+	appendf("cuisinevol_compute_waiting %d\n", m.waiting.Load())
+
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,333 @@
+// Package server is the HTTP serving layer: a JSON API over every
+// analysis pipeline, built for the traffic shape interactive culinary
+// analytics actually sees — a fixed corpus queried repeatedly with a
+// small set of popular parameterizations. Three mechanisms carry the
+// load (DESIGN.md §8):
+//
+//   - a content-addressed result cache keyed by (corpus fingerprint,
+//     endpoint, canonicalized params) with LRU byte-budget eviction —
+//     identical requests are served without recomputation and without
+//     any invalidation logic, because the key *is* the content;
+//   - singleflight coalescing — N concurrent identical requests cost
+//     one computation;
+//   - a semaphore-gated compute pool — at most Compute pipeline
+//     computations run at once, each fanning out through internal/sched
+//     under the Workers budget, while cache hits bypass the gate
+//     entirely.
+//
+// Request contexts flow down into the replicate loops, so abandoned
+// requests stop burning CPU; /metrics exposes the whole story in
+// Prometheus text format with no external dependencies.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cuisinevol/internal/experiment"
+	"cuisinevol/internal/recipe"
+)
+
+// Options configures the server.
+type Options struct {
+	// Seed, RecipeScale, MinSupport, Replicates and Workers mirror the
+	// experiment.Config knobs and set the defaults for every request.
+	Seed        uint64
+	RecipeScale float64
+	MinSupport  float64
+	Replicates  int
+	Workers     int
+	// Compute bounds concurrent pipeline computations (the semaphore);
+	// <= 0 means 2.
+	Compute int
+	// CacheBytes is the result-cache budget; <= 0 means 64 MiB.
+	CacheBytes int64
+	// Corpus, when non-nil, is served instead of a generated one.
+	Corpus *recipe.Corpus
+}
+
+// Server is the HTTP analytics service. Create with New, expose with
+// Handler, and drive with net/http.
+type Server struct {
+	opts        Options
+	corpus      *recipe.Corpus
+	fingerprint string
+	cache       *resultCache
+	flight      *flightGroup
+	computeSem  chan struct{}
+	metrics     *metrics
+	mux         *http.ServeMux
+	started     time.Time
+}
+
+// New builds the server, generating the synthetic corpus up front when
+// none is supplied so the first request doesn't pay for corpus
+// generation.
+func New(opts Options) (*Server, error) {
+	if opts.RecipeScale == 0 {
+		opts.RecipeScale = 1.0
+	}
+	if opts.MinSupport == 0 {
+		opts.MinSupport = 0.05
+	}
+	if opts.Replicates == 0 {
+		opts.Replicates = 100
+	}
+	if opts.Compute <= 0 {
+		opts.Compute = 2
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 64 << 20
+	}
+	corpus := opts.Corpus
+	if corpus == nil {
+		cfg := &experiment.Config{Seed: opts.Seed, RecipeScale: opts.RecipeScale}
+		var err error
+		corpus, err = cfg.Corpus()
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	s := &Server{
+		opts:        opts,
+		corpus:      corpus,
+		fingerprint: corpusFingerprint(corpus),
+		cache:       newResultCache(opts.CacheBytes),
+		flight:      newFlightGroup(),
+		computeSem:  make(chan struct{}, opts.Compute),
+		metrics:     newMetrics(),
+		started:     time.Now(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the root handler for the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Fingerprint returns the hex corpus fingerprint requests are cached
+// under.
+func (s *Server) Fingerprint() string { return s.fingerprint }
+
+// Computations returns how many underlying pipeline computations have
+// executed — the observable that cache and coalescing tests assert on.
+func (s *Server) Computations() uint64 { return s.metrics.computations.Load() }
+
+// corpusFingerprint hashes the corpus content — every recipe's region
+// and ingredient set in corpus order — so cache keys derive from the
+// data actually served, not from how it was obtained. A corpus loaded
+// from disk and an identical generated one share a fingerprint; any
+// edit changes it.
+func corpusFingerprint(c *recipe.Corpus) string {
+	h := sha256.New()
+	var buf [4]byte
+	for i := 0; i < c.Len(); i++ {
+		r := c.Get(i)
+		h.Write([]byte(r.Region))
+		h.Write([]byte{0})
+		for _, id := range r.Ingredients {
+			binary.LittleEndian.PutUint32(buf[:], uint32(id))
+			h.Write(buf[:])
+		}
+		h.Write([]byte{0xff})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// config builds the per-request experiment configuration. Each request
+// gets a fresh Config sharing the corpus (Config lazily memoizes the
+// corpus; sharing the built one keeps requests from regenerating it).
+func (s *Server) config(replicates int) *experiment.Config {
+	cfg := &experiment.Config{
+		Seed:        s.opts.Seed,
+		RecipeScale: s.opts.RecipeScale,
+		MinSupport:  s.opts.MinSupport,
+		Replicates:  replicates,
+		Workers:     s.opts.Workers,
+	}
+	cfg.SetCorpus(s.corpus)
+	return cfg
+}
+
+// httpError carries a status code through the compute path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusWriter records the status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request metrics under the given
+// endpoint label.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(endpoint, sw.status, time.Since(start).Seconds())
+	})
+}
+
+// serveComputed is the shared compute path: cache lookup, then
+// singleflight coalescing, then the semaphore-gated computation. canon
+// must be the canonicalized parameter string — requests that differ
+// only in parameter spelling share a key. compute returns the response
+// value to be rendered as deterministic JSON.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint, canon string, compute func(ctx context.Context) (any, error)) {
+	key := resultKey(s.fingerprint, endpoint, canon)
+	etag := `"` + key[:32] + `"`
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.writeBody(w, body, etag, "HIT")
+		return
+	}
+	ctx := r.Context()
+	for {
+		body, err, shared := s.flight.Do(ctx, key, func(cctx context.Context) ([]byte, error) {
+			// Double-check the cache: a computation that completed between
+			// this request's cache miss and its flight leadership already
+			// cached the body, and must not be repeated. Peek keeps the
+			// hit/miss counters one-per-request.
+			if body, ok := s.cache.Peek(key); ok {
+				return body, nil
+			}
+			if err := s.acquireCompute(cctx); err != nil {
+				return nil, err
+			}
+			defer s.releaseCompute()
+			s.metrics.computations.Add(1)
+			v, err := compute(cctx)
+			if err != nil {
+				return nil, err
+			}
+			body, err := marshalDeterministic(v)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, body)
+			return body, nil
+		})
+		if shared {
+			s.metrics.coalesced.Add(1)
+		}
+		if err != nil {
+			// Joining a computation whose waiters all left yields its
+			// context.Canceled; if *this* request is still live, retry —
+			// it becomes the new leader.
+			if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+				continue
+			}
+			s.writeError(w, err)
+			return
+		}
+		s.writeBody(w, body, etag, "MISS")
+		return
+	}
+}
+
+// acquireCompute takes a compute slot, blocking under the semaphore
+// until one frees or ctx is cancelled.
+func (s *Server) acquireCompute(ctx context.Context) error {
+	s.metrics.waiting.Add(1)
+	defer s.metrics.waiting.Add(-1)
+	select {
+	case s.computeSem <- struct{}{}:
+		s.metrics.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) releaseCompute() {
+	<-s.computeSem
+	s.metrics.inflight.Add(-1)
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, etag, cacheState string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("ETag", etag)
+	h.Set("X-Cache", cacheState)
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// Client went away; 499 in the nginx tradition so the metric
+		// distinguishes abandonment from failure.
+		status = 499
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// canonicalParams renders parsed parameters in a fixed order and fixed
+// formatting, so every spelling of the same request ("0.05", "0.050",
+// "5e-2") maps to one cache key.
+func canonicalParams(pairs ...any) string {
+	if len(pairs)%2 != 0 {
+		panic("canonicalParams: odd pair count")
+	}
+	parts := make([]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name := pairs[i].(string)
+		var val string
+		switch v := pairs[i+1].(type) {
+		case string:
+			val = v
+		case bool:
+			val = strconv.FormatBool(v)
+		case int:
+			val = strconv.Itoa(v)
+		case uint64:
+			val = strconv.FormatUint(v, 10)
+		case float64:
+			val = strconv.FormatFloat(v, 'g', -1, 64)
+		default:
+			panic(fmt.Sprintf("canonicalParams: unsupported type %T", v))
+		}
+		parts = append(parts, name+"="+val)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller computes, later callers wait for its
+// result. Unlike x/sync/singleflight (which the repo deliberately does
+// not depend on), the computation runs under its own context that is
+// cancelled only when *every* waiter has abandoned the request — N
+// identical Fig-4 requests cost one ensemble run, and that run keeps
+// going as long as at least one client still wants the answer.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation and its waiter refcount.
+type flightCall struct {
+	done    chan struct{}
+	val     []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do returns the result of fn for key, coalescing concurrent duplicate
+// calls. shared reports whether this caller joined an execution started
+// by another. If ctx is cancelled while waiting, Do returns ctx.Err()
+// immediately; the underlying computation is cancelled only once no
+// waiters remain.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		return c.wait(ctx, g)
+	}
+	// The compute context is detached from the initiating request: the
+	// computation outlives any single waiter and dies with the last one.
+	cctx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		v, e := fn(cctx)
+		g.mu.Lock()
+		c.val, c.err = v, e
+		delete(g.m, key)
+		g.mu.Unlock()
+		cancel()
+		close(c.done)
+	}()
+	val, err, _ = c.wait(ctx, g)
+	return val, err, false
+}
+
+// wait blocks until the call completes or ctx is cancelled, maintaining
+// the waiter refcount.
+func (c *flightCall) wait(ctx context.Context, g *flightGroup) ([]byte, error, bool) {
+	select {
+	case <-c.done:
+		return c.val, c.err, true
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		abandoned := c.waiters == 0
+		g.mu.Unlock()
+		if abandoned {
+			c.cancel()
+		}
+		return nil, ctx.Err(), true
+	}
+}
