@@ -3,16 +3,21 @@
 #   make check           CI-grade gate: vet + build + race tests + bench smoke
 #   make ci              what .github/workflows/ci.yml runs: vet + build + race tests
 #   make serve           run the HTTP analytics service on :8080
+#   make fuzz            run every fuzz target for FUZZTIME (default 30s) each
+#   make loadtest        race-enabled overload/loadtest suite for the server
 #   make bench-baseline  full benchmark run, recorded to BENCH_fig_pipeline.json
 #   make bench-smoke     1-iteration benchmark pass (fast; same JSON output)
 
 GO ?= go
 
+# Per-target fuzzing budget for `make fuzz` (the CI smoke uses the same).
+FUZZTIME ?= 30s
+
 # The perf-trajectory benchmarks: the FP-Growth kernel and the Fig 3/4
 # pipelines it feeds (see ISSUE/DESIGN "Performance architecture").
 BENCH_PATTERN := FPGrowth|Fig3|Fig4
 
-.PHONY: check ci serve vet build test race bench-smoke bench-baseline
+.PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline
 
 check: vet build race bench-smoke
 
@@ -36,6 +41,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz runs each native fuzz target for FUZZTIME. Go allows one -fuzz
+# pattern per package invocation, so the targets run sequentially.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzNormalize -fuzztime $(FUZZTIME) ./internal/textnorm
+	$(GO) test -run '^$$' -fuzz FuzzParseRecipe -fuzztime $(FUZZTIME) ./internal/ingest
+
+# loadtest exercises the overload/chaos harness (deadlines, shedding,
+# coalescing under load) with the race detector on — the suite is fully
+# event-driven, so -race adds coverage without adding flakiness.
+loadtest:
+	$(GO) test -race -count=1 ./internal/server/...
 
 # bench-smoke keeps `make check` fast (one iteration per benchmark) while
 # still exercising every benchmarked pipeline end to end and refreshing

@@ -25,6 +25,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	workers := cf.fs.Int("workers", 0, "parallel workers per computation (0 = GOMAXPROCS)")
 	compute := cf.fs.Int("compute", 2, "concurrent pipeline computations (the compute-pool size)")
 	cacheMB := cf.fs.Int("cache-mb", 64, "result-cache budget in MiB")
+	timeout := cf.fs.Duration("timeout", 2*time.Minute, "per-request compute deadline for heavy endpoints (<= 0 disables)")
+	maxQueue := cf.fs.Int("max-queue", 0, "max computations queued for a compute slot before shedding (0 = 4x compute, < 0 = no queue)")
 	drain := cf.fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	if err := cf.fs.Parse(args); err != nil {
 		return err
@@ -37,6 +39,12 @@ func cmdServe(ctx context.Context, args []string) error {
 		Workers:     *workers,
 		Compute:     *compute,
 		CacheBytes:  int64(*cacheMB) << 20,
+		MaxQueue:    *maxQueue,
+	}
+	if *timeout <= 0 {
+		opts.Timeout = -1 // deadlines disabled
+	} else {
+		opts.Timeout = *timeout
 	}
 	if cf.load != "" {
 		corpus, err := cf.corpus()
@@ -58,8 +66,8 @@ func cmdServe(ctx context.Context, args []string) error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "cuisinevol serve: listening on %s (corpus %s, compute=%d, cache=%dMiB)\n",
-		ln.Addr(), srv.Fingerprint(), *compute, *cacheMB)
+	fmt.Fprintf(os.Stderr, "cuisinevol serve: listening on %s (corpus %s, compute=%d, cache=%dMiB, timeout=%s)\n",
+		ln.Addr(), srv.Fingerprint(), *compute, *cacheMB, *timeout)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

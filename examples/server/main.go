@@ -31,6 +31,10 @@ func main() {
 		Seed:       42,
 		Replicates: 4,
 		Corpus:     corpus,
+		// Overload policy: heavy requests get 30s before a structured 504,
+		// and at most 8 computations may queue before arrivals shed (503).
+		Timeout:  30 * time.Second,
+		MaxQueue: 8,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -54,11 +58,13 @@ func main() {
 	// metrics below as cuisinevol_cache_hits_total.
 	fetch(base + "/v1/table1")
 
-	fmt.Println("GET /metrics (request, cache and compute-pool families):")
+	fmt.Println("GET /metrics (request, cache, compute-pool and overload families):")
 	for _, line := range strings.Split(fetch(base+"/metrics"), "\n") {
 		if strings.HasPrefix(line, "cuisinevol_http_requests_total") ||
 			strings.HasPrefix(line, "cuisinevol_cache_") ||
-			strings.HasPrefix(line, "cuisinevol_computations_total") {
+			strings.HasPrefix(line, "cuisinevol_computations_total") ||
+			strings.HasPrefix(line, "cuisinevol_shed_total") ||
+			strings.HasPrefix(line, "cuisinevol_deadline_timeouts_total") {
 			fmt.Println("  " + line)
 		}
 	}

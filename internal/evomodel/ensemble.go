@@ -2,6 +2,7 @@ package evomodel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"cuisinevol/internal/ingredient"
@@ -64,7 +65,7 @@ func (d *EnsembleDetail) ReplicateDistances(ref rankfreq.Distribution, metric ra
 	for i, rep := range d.Replicates {
 		v, err := metric(ref, rep)
 		if err != nil {
-			return nil, fmt.Errorf("evomodel: replicate %d: %w", i, err)
+			return nil, &ReplicateError{Model: d.Aggregate.Label, Replicate: i, Err: err}
 		}
 		out[i] = v
 	}
@@ -98,10 +99,17 @@ func runEnsemble(ctx context.Context, cfg EnsembleConfig, lex *ingredient.Lexico
 		var err error
 		dists[rep], err = runReplicate(cfg, lex, label, rep)
 		if err != nil {
-			return fmt.Errorf("evomodel: replicate %d: %w", rep, err)
+			return &ReplicateError{Model: label, Replicate: rep, Err: err}
 		}
 		return nil
 	}); err != nil {
+		// A hook-injected failure (sched's fault seam) bypasses the fn
+		// wrapper above; re-wrap it so every replicate death, injected or
+		// real, is the same typed error.
+		var ie *sched.ItemError
+		if errors.As(err, &ie) {
+			err = &ReplicateError{Model: label, Replicate: ie.Item, Err: ie.Err}
+		}
 		return rankfreq.Distribution{}, nil, err
 	}
 	return rankfreq.Aggregate(dists), dists, nil

@@ -1,0 +1,35 @@
+package evomodel
+
+import "fmt"
+
+// ReplicateError reports the failure of a single ensemble replicate. It
+// carries the replicate index and, when the caller knows them, the
+// cuisine and model the replicate belonged to — so callers that fan
+// thousands of replicates through the shared scheduler can recover
+// exactly which work item failed with errors.As instead of parsing a
+// formatted string. The zero-valued string fields mean "not known at
+// this layer": evomodel fills Model, the experiment pipelines add
+// Cuisine.
+type ReplicateError struct {
+	// Cuisine is the region code of the modeled cuisine, when known.
+	Cuisine string
+	// Model is the model-kind abbreviation (or custom ensemble label).
+	Model string
+	// Replicate is the zero-based replicate index within the ensemble.
+	Replicate int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ReplicateError) Error() string {
+	switch {
+	case e.Cuisine != "" && e.Model != "":
+		return fmt.Sprintf("evomodel: %s/%s: replicate %d: %v", e.Cuisine, e.Model, e.Replicate, e.Err)
+	case e.Model != "":
+		return fmt.Sprintf("evomodel: %s: replicate %d: %v", e.Model, e.Replicate, e.Err)
+	default:
+		return fmt.Sprintf("evomodel: replicate %d: %v", e.Replicate, e.Err)
+	}
+}
+
+func (e *ReplicateError) Unwrap() error { return e.Err }

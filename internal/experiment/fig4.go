@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -157,12 +158,28 @@ func RunFig4Ctx(ctx context.Context, cfg *Config, opts Fig4Options) (*Fig4Result
 		e, rep := i/replicates, i%replicates
 		d, err := evomodel.ReplicateDistribution(ensembles[e], lex, rep)
 		if err != nil {
-			return fmt.Errorf("experiment: %s/%v: replicate %d: %w",
-				regions[e/nK], kinds[e%nK], rep, err)
+			return &evomodel.ReplicateError{
+				Cuisine:   regions[e/nK],
+				Model:     kinds[e%nK].String(),
+				Replicate: rep,
+				Err:       err,
+			}
 		}
 		repDists[e][rep] = d
 		return nil
 	}); err != nil {
+		// Hook-injected item failures bypass the wrapper above; decode the
+		// flattened grid index back into (cuisine, kind, replicate).
+		var ie *sched.ItemError
+		if errors.As(err, &ie) {
+			e, rep := ie.Item/replicates, ie.Item%replicates
+			err = &evomodel.ReplicateError{
+				Cuisine:   regions[e/nK],
+				Model:     kinds[e%nK].String(),
+				Replicate: rep,
+				Err:       ie.Err,
+			}
+		}
 		return nil, err
 	}
 

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate results/golden_table1.json")
+
+// goldenPath is the committed reference file, relative to this package.
+const goldenPath = "../../results/golden_table1.json"
+
+// goldenRow is one Table I row in the golden document.
+type goldenRow struct {
+	Code               string   `json:"code"`
+	Recipes            int      `json:"recipes"`
+	UniqueIngredients  int      `json:"unique_ingredients"`
+	TopOverrepresented []string `json:"top_overrepresented"`
+	Matches            int      `json:"matches"`
+}
+
+// goldenDoc is the pinned subset of pipeline output the golden test
+// guards: Table I statistics, every cuisine's overrepresentation top
+// list, and the Fig 1 size-distribution moments.
+type goldenDoc struct {
+	Seed           uint64      `json:"seed"`
+	RecipeScale    float64     `json:"recipe_scale"`
+	Table1         []goldenRow `json:"table1"`
+	TotalRecipes   int         `json:"total_recipes"`
+	AvgRecipes     float64     `json:"avg_recipes"`
+	AvgIngredients float64     `json:"avg_ingredients"`
+	Fig1Mean       float64     `json:"fig1_mean"`
+	Fig1SD         float64     `json:"fig1_sd"`
+	Fig1MinSize    int         `json:"fig1_min_size"`
+	Fig1MaxSize    int         `json:"fig1_max_size"`
+	Fig1KS         float64     `json:"fig1_ks_statistic"`
+}
+
+// computeGoldenBytes runs the pinned pipelines under the given worker
+// budget and renders the document in its canonical byte form.
+func computeGoldenBytes(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := DefaultConfig(42)
+	cfg.RecipeScale = 0.05
+	cfg.Replicates = 2
+	cfg.Workers = workers
+	tbl, err := RunTableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig1, err := RunFig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := goldenDoc{
+		Seed:           cfg.Seed,
+		RecipeScale:    cfg.RecipeScale,
+		TotalRecipes:   tbl.TotalRecipes,
+		AvgRecipes:     tbl.AvgRecipes,
+		AvgIngredients: tbl.AvgIngredients,
+		Fig1Mean:       fig1.Mean,
+		Fig1SD:         fig1.SD,
+		Fig1MinSize:    fig1.MinSize,
+		Fig1MaxSize:    fig1.MaxSize,
+		Fig1KS:         fig1.KSStatistic,
+	}
+	for _, row := range tbl.Rows {
+		doc.Table1 = append(doc.Table1, goldenRow{
+			Code:               row.Code,
+			Recipes:            row.Recipes,
+			UniqueIngredients:  row.UniqueIngredients,
+			TopOverrepresented: row.TopOverrepresented,
+			Matches:            row.Matches,
+		})
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestGoldenTable1 pins the seeded pipeline output to the committed
+// reference byte for byte: any drift in corpus generation, aliasing,
+// overrepresentation scoring or the size statistics fails here first.
+// Run with -update to bless an intentional change.
+func TestGoldenTable1(t *testing.T) {
+	got := computeGoldenBytes(t, 0)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from %s (regenerate with -update if intended)\ngot %d bytes, want %d",
+			goldenPath, len(got), len(want))
+	}
+}
+
+// TestGoldenStableAcrossRunsAndParallelism recomputes the document
+// under different worker budgets and GOMAXPROCS settings and asserts
+// the bytes never move — determinism is a property of the pipelines,
+// not of a lucky schedule.
+func TestGoldenStableAcrossRunsAndParallelism(t *testing.T) {
+	base := computeGoldenBytes(t, 0)
+	if again := computeGoldenBytes(t, 0); !bytes.Equal(base, again) {
+		t.Fatal("two identical runs produced different bytes")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		if got := computeGoldenBytes(t, workers); !bytes.Equal(base, got) {
+			t.Fatalf("Workers=%d changed the output", workers)
+		}
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if got := computeGoldenBytes(t, 0); !bytes.Equal(base, got) {
+		t.Fatal("GOMAXPROCS=1 changed the output")
+	}
+}

@@ -1,0 +1,84 @@
+package ingest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecipe runs arbitrary bytes through the raw-recipe reader
+// and, when they parse, through the full ingestion pipeline, checking
+// the accounting invariants §II reports are built on: every record is
+// either accepted or counted under exactly one drop reason, resolution
+// never exceeds the mention count, and the JSONL writer round-trips
+// whatever the reader accepted.
+func FuzzParseRecipe(f *testing.F) {
+	seeds := []string{
+		`{"title":"Pasta","region":"ITA","ingredients":["2 cups tomatoes","olive oil","garlic","salt"]}`,
+		`{"region":"KOR","ingredients":["napa cabbage","gochujang","garlic","scallions"]}` + "\n" +
+			`{"region":"KOR","ingredients":["rice"]}`,
+		`{"region":"","ingredients":["flour","water"]}`,           // dropped: no region
+		`{"region":"FRA","ingredients":[]}`,                       // dropped: too small
+		`{"region":"USA","ingredients":["xyzzy","qwerty"]}`,       // nothing resolves
+		`{"title":"broken`,                                        // truncated JSON
+		`[1,2,3]`,                                                 // wrong shape
+		`{"region":"MEX","ingredients":["corn"],"extra":"field"}`, // unknown field
+		`{"region":"JPN","ingredients":["soy sauce","miso","☃"]}`, // non-ASCII mention
+		"",
+		"\n\n\n",
+		`null`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		raws, err := ReadRawJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is rejected, not ingested
+		}
+		corpus, stats, err := Ingest(raws, Options{})
+		if err != nil {
+			// Ingest may reject a record the corpus refuses; that is an
+			// error return, never a panic or a corrupt corpus.
+			return
+		}
+		if stats.RawRecipes != len(raws) {
+			t.Fatalf("RawRecipes = %d, want %d", stats.RawRecipes, len(raws))
+		}
+		drops := stats.DroppedNoRegion + stats.DroppedTooSmall + stats.DroppedTooLarge
+		if stats.Accepted+drops != stats.RawRecipes {
+			t.Fatalf("accounting leak: accepted %d + dropped %d != seen %d",
+				stats.Accepted, drops, stats.RawRecipes)
+		}
+		if stats.ResolvedMentions > stats.Mentions || stats.ResolvedMentions < 0 {
+			t.Fatalf("resolved %d of %d mentions", stats.ResolvedMentions, stats.Mentions)
+		}
+		if rate := stats.ResolutionRate(); rate < 0 || rate > 1 {
+			t.Fatalf("resolution rate %v outside [0,1]", rate)
+		}
+		if corpus.Len() != stats.Accepted {
+			t.Fatalf("corpus holds %d recipes, stats accepted %d", corpus.Len(), stats.Accepted)
+		}
+
+		// Write → read round-trip preserves every record the reader saw.
+		var buf bytes.Buffer
+		if err := WriteRawJSONL(&buf, raws); err != nil {
+			t.Fatalf("WriteRawJSONL: %v", err)
+		}
+		again, err := ReadRawJSONL(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-reading written JSONL: %v", err)
+		}
+		if len(again) != len(raws) {
+			t.Fatalf("round trip: %d records in, %d out", len(raws), len(again))
+		}
+		_, stats2, err := Ingest(again, Options{})
+		if err != nil {
+			t.Fatalf("re-ingesting round-tripped records: %v", err)
+		}
+		if stats2 != stats {
+			t.Fatalf("round-tripped stats differ:\n%+v\nvs\n%+v", stats2, stats)
+		}
+	})
+}

@@ -10,10 +10,55 @@ package sched
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ItemHook intercepts scheduled items before they run. A nil return lets
+// the item execute normally; a non-nil return records that error as the
+// item's result and skips fn entirely. Hooks are the scheduler's fault-
+// injection seam: tests install one with WithItemHook to fail, delay or
+// observe specific replicate indices deterministically, without the
+// production code knowing chaos exists. Hooks must be safe for
+// concurrent invocation on distinct indices.
+type ItemHook func(i int) error
+
+// ItemError is how a hook-injected failure surfaces from Run/Collect:
+// it wraps the hook's error with the index of the item it killed, so
+// callers that know what an index means (a replicate, a cuisine) can
+// re-wrap it in their own typed error with errors.As.
+type ItemError struct {
+	// Item is the scheduled item index the hook failed.
+	Item int
+	// Err is the hook's error.
+	Err error
+}
+
+func (e *ItemError) Error() string { return fmt.Sprintf("sched: item %d: %v", e.Item, e.Err) }
+
+// Unwrap exposes the hook's error to errors.Is/As.
+func (e *ItemError) Unwrap() error { return e.Err }
+
+// hookKey carries an ItemHook through a context.
+type hookKey struct{}
+
+// WithItemHook returns a context that makes every Run/Collect call under
+// it consult hook before each item. Passing a nil hook returns ctx
+// unchanged.
+func WithItemHook(ctx context.Context, hook ItemHook) context.Context {
+	if hook == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, hookKey{}, hook)
+}
+
+// itemHook extracts the installed ItemHook, if any.
+func itemHook(ctx context.Context) ItemHook {
+	h, _ := ctx.Value(hookKey{}).(ItemHook)
+	return h
+}
 
 // Run executes fn(0), …, fn(n-1) under at most workers goroutines
 // (workers <= 0 means GOMAXPROCS). Every item runs exactly once even
@@ -40,6 +85,15 @@ func RunCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 	if workers > n {
 		workers = n
+	}
+	if hook := itemHook(ctx); hook != nil {
+		inner := fn
+		fn = func(i int) error {
+			if err := hook(i); err != nil {
+				return &ItemError{Item: i, Err: err}
+			}
+			return inner(i)
+		}
 	}
 	if workers == 1 {
 		var first error

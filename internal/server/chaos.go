@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"cuisinevol/internal/sched"
+)
+
+// Fault enumerates the injectable fault kinds.
+type Fault int
+
+const (
+	// FaultNone injects nothing; the request proceeds normally.
+	FaultNone Fault = iota
+	// FaultError fails the computation with a ChaosError (a 500).
+	FaultError
+	// FaultCancel simulates the client disconnecting before the response
+	// is written (a 499).
+	FaultCancel
+	// FaultLatency routes the computation through ChaosConfig.Block,
+	// holding it until the test releases it (or its context dies).
+	FaultLatency
+	// FaultItem fails an individual scheduler work item (one replicate
+	// or one cuisine mine) inside an otherwise healthy computation.
+	FaultItem
+)
+
+// String names the fault for metrics labels.
+func (f Fault) String() string {
+	switch f {
+	case FaultError:
+		return "error"
+	case FaultCancel:
+		return "cancel"
+	case FaultLatency:
+		return "latency"
+	case FaultItem:
+		return "item"
+	default:
+		return "none"
+	}
+}
+
+// ChaosError marks a failure injected by the chaos layer, so tests (and
+// operators reading error bodies) can tell injected faults from real
+// bugs with errors.As.
+type ChaosError struct {
+	// Fault is the injected fault kind.
+	Fault Fault
+	// Key identifies the faulted request (endpoint?canonical-params),
+	// empty for item-level faults.
+	Key string
+	// Item is the scheduler item index for FaultItem, -1 otherwise.
+	Item int
+}
+
+func (e *ChaosError) Error() string {
+	if e.Fault == FaultItem {
+		return fmt.Sprintf("chaos: injected %s fault (item %d)", e.Fault, e.Item)
+	}
+	return fmt.Sprintf("chaos: injected %s fault (%s)", e.Fault, e.Key)
+}
+
+// ChaosConfig configures the deterministic fault-injection layer. Every
+// decision is a pure function of (Seed, request key) or (Seed, item
+// index) — never of arrival order, goroutine scheduling or the clock —
+// so a chaotic run is exactly reproducible: the same seed faults the
+// same requests no matter how the load interleaves. There are no
+// wall-clock sleeps anywhere: "latency" is a test-controlled gate
+// (Block), which the tests open on events, not timers.
+//
+// Chaos is a test/staging facility wired through Options.Chaos; a nil
+// config (the default) compiles the whole layer down to a nil-receiver
+// fast path.
+type ChaosConfig struct {
+	// Seed drives every fault decision.
+	Seed uint64
+	// ErrorRate, CancelRate and LatencyRate are per-request fault
+	// probabilities in [0, 1], keyed by the request's cache identity.
+	// They partition the unit interval in that order, so their sum must
+	// be <= 1.
+	ErrorRate   float64
+	CancelRate  float64
+	LatencyRate float64
+	// Block is called (on the computation's context) for every
+	// latency-faulted computation; it must return when the test releases
+	// the request or ctx dies. Required when LatencyRate > 0.
+	Block func(ctx context.Context, key string) error
+	// ItemErrorRate is the per-work-item fault probability: each
+	// scheduler item (a model replicate, a cuisine mine) fails
+	// independently, keyed by its index — the replicate-level fault the
+	// ensemble pipelines must surface as typed errors, not corrupt
+	// aggregates.
+	ItemErrorRate float64
+}
+
+// chaos is the installed fault injector. All methods are safe on a nil
+// receiver, which is how the production (chaos-free) path runs.
+type chaos struct {
+	cfg ChaosConfig
+	m   *metrics
+}
+
+func newChaos(cfg *ChaosConfig, m *metrics) *chaos {
+	if cfg == nil {
+		return nil
+	}
+	return &chaos{cfg: *cfg, m: m}
+}
+
+// unitFloat maps (seed, key) to a uniform float in [0, 1) via FNV-1a
+// and a SplitMix64 finalizer — deterministic, order-free, well mixed.
+func unitFloat(seed uint64, key string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := seed ^ h.Sum64()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// faultFor decides this request's fault. The rates partition [0, 1) in
+// error → cancel → latency order.
+func (c *chaos) faultFor(key string) Fault {
+	if c == nil {
+		return FaultNone
+	}
+	u := unitFloat(c.cfg.Seed, key)
+	switch {
+	case u < c.cfg.ErrorRate:
+		return FaultError
+	case u < c.cfg.ErrorRate+c.cfg.CancelRate:
+		return FaultCancel
+	case u < c.cfg.ErrorRate+c.cfg.CancelRate+c.cfg.LatencyRate:
+		return FaultLatency
+	default:
+		return FaultNone
+	}
+}
+
+// wrapCompute applies the decided fault to a computation and, when item
+// faults are enabled, threads the scheduler hook into its context so
+// replicate-level failures originate inside the fan-out, exactly where
+// a real failure would.
+func (c *chaos) wrapCompute(key string, fault Fault, compute func(ctx context.Context) (any, error)) func(ctx context.Context) (any, error) {
+	if c == nil {
+		return compute
+	}
+	return func(ctx context.Context) (any, error) {
+		switch fault {
+		case FaultError:
+			c.m.chaosInjected[FaultError].Add(1)
+			return nil, &ChaosError{Fault: FaultError, Key: key, Item: -1}
+		case FaultLatency:
+			c.m.chaosInjected[FaultLatency].Add(1)
+			if err := c.cfg.Block(ctx, key); err != nil {
+				return nil, err
+			}
+		}
+		if c.cfg.ItemErrorRate > 0 {
+			ctx = sched.WithItemHook(ctx, c.itemHook())
+		}
+		return compute(ctx)
+	}
+}
+
+// itemHook fails scheduler item i with probability ItemErrorRate, keyed
+// by the item index alone so the same items fail on every run.
+func (c *chaos) itemHook() sched.ItemHook {
+	return func(i int) error {
+		if unitFloat(c.cfg.Seed^0xC8A05F5E0A5C11E5, fmt.Sprintf("item/%d", i)) < c.cfg.ItemErrorRate {
+			c.m.chaosInjected[FaultItem].Add(1)
+			return &ChaosError{Fault: FaultItem, Item: i}
+		}
+		return nil
+	}
+}

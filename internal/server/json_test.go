@@ -1,0 +1,65 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMarshalDeterministicSortsMapKeys(t *testing.T) {
+	v := map[string]int{"zebra": 1, "apple": 2, "mango": 3}
+	b, err := marshalDeterministic(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(b)
+	if got != "{\"apple\":2,\"mango\":3,\"zebra\":1}\n" {
+		t.Fatalf("marshal = %q", got)
+	}
+}
+
+func TestMarshalDeterministicNoHTMLEscape(t *testing.T) {
+	b, err := marshalDeterministic(map[string]string{"q": "a<b&c>d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(b); strings.Contains(s, "\\u003c") || !strings.Contains(s, "a<b&c>d") {
+		t.Fatalf("HTML-escaped output: %q", s)
+	}
+}
+
+func TestMarshalDeterministicTrailingNewline(t *testing.T) {
+	b, err := marshalDeterministic([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(b); !strings.HasSuffix(s, "\n") || strings.Count(s, "\n") != 1 {
+		t.Fatalf("want exactly one trailing newline, got %q", s)
+	}
+}
+
+func TestMarshalDeterministicRepeatable(t *testing.T) {
+	v := map[string]any{
+		"floats": []float64{0.1, 1e-9, 123456.789},
+		"nested": map[string]any{"b": true, "a": nil},
+	}
+	first, err := marshalDeterministic(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		again, err := marshalDeterministic(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("iteration %d: output differs:\n%s\nvs\n%s", i, first, again)
+		}
+	}
+}
+
+func TestMarshalDeterministicRejectsNaN(t *testing.T) {
+	if _, err := marshalDeterministic(map[string]float64{"x": math.NaN()}); err == nil {
+		t.Fatal("NaN marshalled without error")
+	}
+}

@@ -1,0 +1,202 @@
+// Package loadtest is an in-process load-replay harness for the serving
+// layer: it generates seeded, reproducible request mixes over a
+// synthetic corpus, fires them at an http.Handler — all released
+// together, so the burst actually contends — and reports per-request
+// outcomes plus scraped metrics. The overload tests are built on three
+// properties the harness guarantees:
+//
+//   - mixes are pure functions of (corpus, seed, n): the same mix can be
+//     replayed against a loaded chaotic server and an unloaded baseline
+//     and compared byte for byte;
+//   - Distinct mixes canonicalize to pairwise-distinct cache keys, so
+//     nothing caches or coalesces across requests — the workload the
+//     admission layer exists for;
+//   - synchronization is event-driven (result arrival, gate channels),
+//     never wall-clock sleeps, so the invariant tests are deterministic
+//     under -race and arbitrary scheduler interleavings.
+package loadtest
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"cuisinevol/internal/randx"
+	"cuisinevol/internal/recipe"
+)
+
+// Mix is a reproducible request workload: an ordered list of request
+// paths derived from a seed.
+type Mix struct {
+	Seed  uint64
+	Paths []string
+}
+
+// Distinct generates n pairwise-distinct request paths over the corpus's
+// cuisines: mine and overrep queries whose numeric parameter embeds the
+// request index, so every path canonicalizes to a unique cache key and
+// no two requests can share a cache entry or coalesce. Regions are drawn
+// from a seeded RNG; the whole mix is deterministic in (corpus, seed, n).
+func Distinct(corpus *recipe.Corpus, seed uint64, n int) Mix {
+	regions := corpus.Regions()
+	rng := randx.New(seed)
+	paths := make([]string, n)
+	for i := range paths {
+		region := regions[rng.Intn(len(regions))]
+		if i%2 == 0 {
+			paths[i] = fmt.Sprintf("/v1/mine?region=%s&top=%d", region, 1+i)
+		} else {
+			paths[i] = fmt.Sprintf("/v1/overrep?region=%s&k=%d", region, 1+i%500)
+		}
+	}
+	return Mix{Seed: seed, Paths: paths}
+}
+
+// Repeat appends every path in the mix k-1 more times, producing the
+// duplicate-heavy workload that exercises caching and coalescing under
+// load. Order interleaves copies so duplicates actually overlap.
+func (m Mix) Repeat(k int) Mix {
+	out := Mix{Seed: m.Seed, Paths: make([]string, 0, len(m.Paths)*k)}
+	for i := 0; i < k; i++ {
+		out.Paths = append(out.Paths, m.Paths...)
+	}
+	return out
+}
+
+// Result is one replayed request's outcome.
+type Result struct {
+	Path       string
+	Status     int
+	Body       string
+	RetryAfter string // Retry-After header, "" when absent
+	XCache     string // X-Cache header (HIT/MISS), "" when absent
+	Duration   time.Duration
+}
+
+// Report aggregates a completed replay.
+type Report struct {
+	Results []Result
+}
+
+// CountStatus returns how many results completed with the given code.
+func (r Report) CountStatus(code int) int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Status == code {
+			n++
+		}
+	}
+	return n
+}
+
+// Statuses returns the set of distinct status codes observed.
+func (r Report) Statuses() map[int]int {
+	out := make(map[int]int)
+	for _, res := range r.Results {
+		out[res.Status]++
+	}
+	return out
+}
+
+// Run is an in-flight concurrent replay started by Start.
+type Run struct {
+	results   chan Result
+	remaining int
+}
+
+// Start fires every request in the mix concurrently against h — all
+// goroutines released on the same barrier — and returns immediately.
+// Collect outcomes with Await (the next k completions, in completion
+// order) and Wait (everything left).
+func Start(h http.Handler, mix Mix) *Run {
+	run := &Run{
+		results:   make(chan Result, len(mix.Paths)),
+		remaining: len(mix.Paths),
+	}
+	release := make(chan struct{})
+	for _, path := range mix.Paths {
+		go func(path string) {
+			<-release
+			run.results <- do(h, path)
+		}(path)
+	}
+	close(release)
+	return run
+}
+
+// Await blocks until k more requests complete and returns them in
+// completion order.
+func (r *Run) Await(k int) []Result {
+	if k > r.remaining {
+		k = r.remaining
+	}
+	out := make([]Result, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, <-r.results)
+		r.remaining--
+	}
+	return out
+}
+
+// Wait collects every remaining completion into a Report.
+func (r *Run) Wait() Report {
+	return Report{Results: r.Await(r.remaining)}
+}
+
+// Baseline replays the mix one request at a time — the unloaded
+// reference run — and returns the path→body map of 200 responses, the
+// ground truth the loaded run's completions must match byte for byte.
+func Baseline(h http.Handler, mix Mix) map[string]string {
+	out := make(map[string]string, len(mix.Paths))
+	for _, path := range mix.Paths {
+		res := do(h, path)
+		if res.Status == http.StatusOK {
+			out[path] = res.Body
+		}
+	}
+	return out
+}
+
+// do executes one in-process request.
+func do(h http.Handler, path string) Result {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, req)
+	return Result{
+		Path:       path,
+		Status:     rec.Code,
+		Body:       rec.Body.String(),
+		RetryAfter: rec.Header().Get("Retry-After"),
+		XCache:     rec.Header().Get("X-Cache"),
+		Duration:   time.Since(start),
+	}
+}
+
+// Metric scrapes /metrics from h and returns the value of the named
+// family/series. The name must match the exposition line's name part
+// exactly, labels included (e.g. "cuisinevol_shed_total").
+func Metric(h http.Handler, name string) (float64, bool) {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}

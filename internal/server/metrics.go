@@ -31,6 +31,12 @@ type metrics struct {
 	computations atomic.Uint64 // underlying pipeline computations executed
 	inflight     atomic.Int64  // computations currently holding a compute slot
 	waiting      atomic.Int64  // computations queued on the compute semaphore
+
+	shedComputations atomic.Uint64 // computations rejected at admission (queue full)
+	deadlineTimeouts atomic.Uint64 // requests that exceeded their deadline budget
+	// chaosInjected counts injected faults by Fault kind (all zero when
+	// chaos is disabled).
+	chaosInjected [FaultItem + 1]atomic.Uint64
 }
 
 type histogram struct {
@@ -152,6 +158,18 @@ func (m *metrics) WriteTo(w io.Writer, cache *resultCache) error {
 	appendf("# HELP cuisinevol_compute_waiting Computations queued for a compute slot.\n")
 	appendf("# TYPE cuisinevol_compute_waiting gauge\n")
 	appendf("cuisinevol_compute_waiting %d\n", m.waiting.Load())
+
+	appendf("# HELP cuisinevol_shed_total Computations rejected at admission because the wait queue was full.\n")
+	appendf("# TYPE cuisinevol_shed_total counter\n")
+	appendf("cuisinevol_shed_total %d\n", m.shedComputations.Load())
+	appendf("# HELP cuisinevol_deadline_timeouts_total Requests that exceeded their deadline budget (504).\n")
+	appendf("# TYPE cuisinevol_deadline_timeouts_total counter\n")
+	appendf("cuisinevol_deadline_timeouts_total %d\n", m.deadlineTimeouts.Load())
+	appendf("# HELP cuisinevol_chaos_injected_total Faults injected by the chaos layer, by kind.\n")
+	appendf("# TYPE cuisinevol_chaos_injected_total counter\n")
+	for f := FaultError; f <= FaultItem; f++ {
+		appendf("cuisinevol_chaos_injected_total{fault=%q} %d\n", f.String(), m.chaosInjected[f].Load())
+	}
 
 	_, err := w.Write(b)
 	return err

@@ -10,14 +10,20 @@
 //     any invalidation logic, because the key *is* the content;
 //   - singleflight coalescing — N concurrent identical requests cost
 //     one computation;
-//   - a semaphore-gated compute pool — at most Compute pipeline
+//   - a bounded-admission compute pool — at most Compute pipeline
 //     computations run at once, each fanning out through internal/sched
 //     under the Workers budget, while cache hits bypass the gate
-//     entirely.
+//     entirely; at most MaxQueue more may wait, and arrivals beyond
+//     that are shed immediately with 503 + Retry-After (DESIGN.md §9).
 //
-// Request contexts flow down into the replicate loops, so abandoned
-// requests stop burning CPU; /metrics exposes the whole story in
-// Prometheus text format with no external dependencies.
+// Every computed request runs under a per-endpoint deadline (Timeout);
+// budget exhaustion is a structured 504, distinct from the 499 a
+// client disconnect produces. Request contexts flow down into the
+// replicate loops, so abandoned requests stop burning CPU; /metrics
+// exposes the whole story — including shed and timeout counts — in
+// Prometheus text format with no external dependencies. A seeded,
+// fully deterministic fault-injection layer (chaos.go) lets the tests
+// drive all of these failure paths without wall-clock sleeps.
 package server
 
 import (
@@ -54,6 +60,18 @@ type Options struct {
 	CacheBytes int64
 	// Corpus, when non-nil, is served instead of a generated one.
 	Corpus *recipe.Corpus
+	// Timeout is the per-request compute deadline for the heavy pipeline
+	// endpoints; lighter endpoints get a fraction of it (endpointBudget).
+	// 0 selects the 2-minute default; negative disables deadlines.
+	Timeout time.Duration
+	// MaxQueue caps how many computations may wait for a compute slot;
+	// arrivals beyond the cap are shed immediately with 503 and a
+	// Retry-After hint. 0 selects 4×Compute; negative means no queue
+	// (shed as soon as every slot is busy).
+	MaxQueue int
+	// Chaos, when non-nil, enables deterministic fault injection — a
+	// test/staging facility, never set in production serving.
+	Chaos *ChaosConfig
 }
 
 // Server is the HTTP analytics service. Create with New, expose with
@@ -64,7 +82,8 @@ type Server struct {
 	fingerprint string
 	cache       *resultCache
 	flight      *flightGroup
-	computeSem  chan struct{}
+	admit       *admission
+	chaos       *chaos
 	metrics     *metrics
 	mux         *http.ServeMux
 	started     time.Time
@@ -89,6 +108,18 @@ func New(opts Options) (*Server, error) {
 	if opts.CacheBytes <= 0 {
 		opts.CacheBytes = 64 << 20
 	}
+	switch {
+	case opts.Timeout == 0:
+		opts.Timeout = defaultTimeout
+	case opts.Timeout < 0:
+		opts.Timeout = 0 // deadlines disabled
+	}
+	switch {
+	case opts.MaxQueue == 0:
+		opts.MaxQueue = 4 * opts.Compute
+	case opts.MaxQueue < 0:
+		opts.MaxQueue = 0 // no queue: shed once every slot is busy
+	}
 	corpus := opts.Corpus
 	if corpus == nil {
 		cfg := &experiment.Config{Seed: opts.Seed, RecipeScale: opts.RecipeScale}
@@ -98,18 +129,54 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	m := newMetrics()
 	s := &Server{
 		opts:        opts,
 		corpus:      corpus,
 		fingerprint: corpusFingerprint(corpus),
 		cache:       newResultCache(opts.CacheBytes),
 		flight:      newFlightGroup(),
-		computeSem:  make(chan struct{}, opts.Compute),
-		metrics:     newMetrics(),
+		admit:       newAdmission(opts.Compute, opts.MaxQueue, shedRetryAfter, m),
+		chaos:       newChaos(opts.Chaos, m),
+		metrics:     m,
 		started:     time.Now(),
 	}
 	s.routes()
 	return s, nil
+}
+
+// defaultTimeout is the heavy-endpoint deadline budget when Options
+// leaves Timeout at zero.
+const defaultTimeout = 2 * time.Minute
+
+// shedRetryAfter is the Retry-After hint (seconds) on shed (503)
+// responses: sheds happen because the queue is full right now, so the
+// client should back off briefly and retry — the queue drains at
+// pipeline speed, not instantly, but a fixed small hint keeps retries
+// cheap and honest.
+const shedRetryAfter = 1
+
+// endpointBudget scales the base Timeout per endpoint: the ensemble and
+// grid pipelines (fig3/fig4/table1/evolve/…) get the full budget, the
+// single-mine and pure-lookup endpoints a fraction — a cheap endpoint
+// that is slow is *more* wrong than a heavy one, and deserves a faster
+// verdict. Endpoints not listed here get the full budget.
+var endpointBudget = map[string]float64{
+	"/v1/cuisines": 0.25,
+	"/v1/overrep":  0.25,
+	"/v1/mine":     0.5,
+}
+
+// endpointTimeout resolves the deadline budget for an endpoint; zero
+// means deadlines are disabled.
+func (s *Server) endpointTimeout(endpoint string) time.Duration {
+	if s.opts.Timeout <= 0 {
+		return 0
+	}
+	if f, ok := endpointBudget[endpoint]; ok {
+		return time.Duration(float64(s.opts.Timeout) * f)
+	}
+	return s.opts.Timeout
 }
 
 // Handler returns the root handler for the service.
@@ -159,10 +226,12 @@ func (s *Server) config(replicates int) *experiment.Config {
 	return cfg
 }
 
-// httpError carries a status code through the compute path.
+// httpError carries a status code — and, for overload statuses, a
+// Retry-After hint — through the compute path.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; emitted as a Retry-After header when > 0
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -209,11 +278,27 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint,
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	fault := s.chaos.faultFor(endpoint + "?" + canon)
+	if fault == FaultCancel {
+		// The simulated client vanished before anything was computed or
+		// served; report the 499 the real disconnect path produces.
+		s.metrics.chaosInjected[FaultCancel].Add(1)
+		s.writeError(w, context.Canceled)
+		return
+	}
 	if body, ok := s.cache.Get(key); ok {
 		s.writeBody(w, body, etag, "HIT")
 		return
 	}
 	ctx := r.Context()
+	if d := s.endpointTimeout(endpoint); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, d, errDeadline)
+		defer cancel()
+	}
+	if s.chaos != nil {
+		compute = s.chaos.wrapCompute(endpoint+"?"+canon, fault, compute)
+	}
 	for {
 		body, err, shared := s.flight.Do(ctx, key, func(cctx context.Context) ([]byte, error) {
 			// Double-check the cache: a computation that completed between
@@ -223,10 +308,10 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint,
 			if body, ok := s.cache.Peek(key); ok {
 				return body, nil
 			}
-			if err := s.acquireCompute(cctx); err != nil {
+			if err := s.admit.Acquire(cctx); err != nil {
 				return nil, err
 			}
-			defer s.releaseCompute()
+			defer s.admit.Release()
 			s.metrics.computations.Add(1)
 			v, err := compute(cctx)
 			if err != nil {
@@ -249,7 +334,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint,
 			if errors.Is(err, context.Canceled) && ctx.Err() == nil {
 				continue
 			}
-			s.writeError(w, err)
+			s.writeError(w, s.classifyComputeErr(ctx, endpoint, err))
 			return
 		}
 		s.writeBody(w, body, etag, "MISS")
@@ -257,23 +342,31 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint,
 	}
 }
 
-// acquireCompute takes a compute slot, blocking under the semaphore
-// until one frees or ctx is cancelled.
-func (s *Server) acquireCompute(ctx context.Context) error {
-	s.metrics.waiting.Add(1)
-	defer s.metrics.waiting.Add(-1)
-	select {
-	case s.computeSem <- struct{}{}:
-		s.metrics.inflight.Add(1)
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
+// errDeadline is the cancellation cause installed by the per-request
+// deadline, distinguishing "the server's budget ran out" (504) from
+// "the client went away" (499) when a context error surfaces.
+var errDeadline = errors.New("server: request deadline exceeded")
 
-func (s *Server) releaseCompute() {
-	<-s.computeSem
-	s.metrics.inflight.Add(-1)
+// classifyComputeErr maps a compute-path failure to its response shape.
+// Context errors are split by who pulled the plug: the server's own
+// deadline becomes a structured 504 with a Retry-After hint and bumps
+// the timeout counter; a genuine client cancellation stays a bare
+// context error (writeError's 499). Everything else — including the
+// admission layer's 503-carrying shed errors — passes through.
+func (s *Server) classifyComputeErr(ctx context.Context, endpoint string, err error) error {
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if errors.Is(context.Cause(ctx), errDeadline) {
+		s.metrics.deadlineTimeouts.Add(1)
+		budget := s.endpointTimeout(endpoint)
+		return &httpError{
+			status:     http.StatusGatewayTimeout,
+			msg:        fmt.Sprintf("deadline exceeded (budget %s)", budget),
+			retryAfter: int((budget + time.Second - 1) / time.Second),
+		}
+	}
+	return err
 }
 
 func (s *Server) writeBody(w http.ResponseWriter, body []byte, etag, cacheState string) {
@@ -288,17 +381,24 @@ func (s *Server) writeBody(w http.ResponseWriter, body []byte, etag, cacheState 
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	retryAfter := 0
 	var he *httpError
 	if errors.As(err, &he) {
 		status = he.status
+		retryAfter = he.retryAfter
 	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		// Client went away; 499 in the nginx tradition so the metric
 		// distinguishes abandonment from failure.
 		status = 499
 	}
+	body := map[string]any{"error": err.Error()}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		body["retry_after_seconds"] = retryAfter
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(body)
 }
 
 // canonicalParams renders parsed parameters in a fixed order and fixed

@@ -1,0 +1,83 @@
+package textnorm
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+
+	"cuisinevol/internal/ingredient"
+)
+
+// FuzzNormalize feeds arbitrary mention strings through the whole
+// aliasing protocol — Tokenize, Singular, Resolve — and checks the
+// invariants the ingestion pipeline relies on: no panics on any input,
+// tokens are lowercase words, singularization never grows a token, and
+// a successful resolution always names a real lexicon entity.
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		"2 cups finely chopped fresh basil leaves",
+		"1 (14.5 oz) can diced tomatoes, drained",
+		"salt and freshly ground black pepper, to taste",
+		"3 cloves garlic, minced",
+		"½ cup extra-virgin olive oil",
+		"1/4 teaspoon cayenne pepper",
+		"boneless, skinless chicken breasts (about 2 lbs)",
+		"jalapeño peppers", // non-ASCII letters
+		"日本酒 1カップ",         // CJK: tokenizes, resolves to nothing
+		"---",
+		"''''",
+		"(unclosed paren",
+		"closed) bracket]",
+		"7up",
+		"berries molasses couscous",
+		"", " ", "\x00\xff\xfe", "a­b", // control bytes, soft hyphen
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lex := ingredient.Builtin()
+	norm := NewNormalizer(lex)
+	f.Fuzz(func(t *testing.T, mention string) {
+		toks := Tokenize(mention)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("Tokenize(%q) produced an empty token", mention)
+			}
+			if strings.ToLower(tok) != tok {
+				t.Fatalf("Tokenize(%q) produced non-lowercase token %q", mention, tok)
+			}
+			if strings.ContainsAny(tok, " \t\n") {
+				t.Fatalf("Tokenize(%q) produced token with whitespace %q", mention, tok)
+			}
+			letter := false
+			for _, r := range tok {
+				if unicode.IsLetter(r) {
+					letter = true
+					break
+				}
+			}
+			if !letter {
+				t.Fatalf("Tokenize(%q) produced letterless token %q", mention, tok)
+			}
+			if s := Singular(tok); len(s) > len(tok) {
+				t.Fatalf("Singular(%q) = %q grew the token", tok, s)
+			}
+		}
+		id, ok := norm.Resolve(mention)
+		if ok {
+			if id == ingredient.None {
+				t.Fatalf("Resolve(%q) reported ok with id None", mention)
+			}
+			if lex.Name(id) == "" {
+				t.Fatalf("Resolve(%q) = %d, a nameless entity", mention, id)
+			}
+		} else if id != ingredient.None {
+			t.Fatalf("Resolve(%q) failed but returned id %d", mention, id)
+		}
+		// Resolution is a pure function of the mention.
+		id2, ok2 := norm.Resolve(mention)
+		if id2 != id || ok2 != ok {
+			t.Fatalf("Resolve(%q) not deterministic: (%d,%v) vs (%d,%v)", mention, id, ok, id2, ok2)
+		}
+	})
+}
