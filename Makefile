@@ -13,11 +13,12 @@ GO ?= go
 # Per-target fuzzing budget for `make fuzz` (the CI smoke uses the same).
 FUZZTIME ?= 30s
 
-# The perf-trajectory benchmarks: the FP-Growth kernel and the Fig 3/4
-# pipelines it feeds (see ISSUE/DESIGN "Performance architecture").
-BENCH_PATTERN := FPGrowth|Fig3|Fig4
+# The perf-trajectory benchmarks: the FP-Growth and Eclat mining kernels
+# and the Fig 3/4 pipelines they feed (see ISSUE/DESIGN "Performance
+# architecture").
+BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4
 
-.PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline
+.PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline benchgate
 
 check: vet build race bench-smoke
 
@@ -47,6 +48,7 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNormalize -fuzztime $(FUZZTIME) ./internal/textnorm
 	$(GO) test -run '^$$' -fuzz FuzzParseRecipe -fuzztime $(FUZZTIME) ./internal/ingest
+	$(GO) test -run '^$$' -fuzz FuzzMineKernels -fuzztime $(FUZZTIME) ./internal/itemset
 
 # loadtest exercises the overload/chaos harness (deadlines, shedding,
 # coalescing under load) with the race detector on — the suite is fully
@@ -65,3 +67,13 @@ bench-smoke:
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... \
 		| $(GO) run ./cmd/benchjson > BENCH_fig_pipeline.json
+
+# benchgate reruns the benchmarks and fails when any regresses past
+# BENCH_TOLERANCE against the committed baseline (ns/op or allocs/op).
+# The fresh JSON is discarded — the committed baseline only moves via
+# `make bench-baseline`. Advisory in CI (shared-runner noise); normative
+# on quiet hardware.
+BENCH_TOLERANCE ?= 0.15
+benchgate:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -compare BENCH_fig_pipeline.json -tolerance $(BENCH_TOLERANCE) > /dev/null

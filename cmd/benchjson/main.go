@@ -3,18 +3,32 @@
 // committed as BENCH_fig_pipeline.json. Every input line is echoed to
 // stderr so the run stays visible when piped:
 //
-//	go test -run '^$' -bench 'FPGrowth|Fig3|Fig4' -benchmem ./... \
+//	go test -run '^$' -bench 'FPGrowth|Eclat|Fig3|Fig4' -benchmem ./... \
 //	    | go run ./cmd/benchjson > BENCH_fig_pipeline.json
 //
 // (or just `make bench-baseline`). Parsed per benchmark: iteration
 // count, ns/op, and any further "<value> <unit>" pairs (B/op,
 // allocs/op, custom b.ReportMetric units like mae or nm_over_cm).
+//
+// With -compare, the fresh run is additionally gated against a
+// committed baseline and the exit status reports regressions:
+//
+//	go test -run '^$' -bench '...' -benchmem ./... \
+//	    | go run ./cmd/benchjson -compare BENCH_fig_pipeline.json -tolerance 0.15 > /dev/null
+//
+// (or `make benchgate`). A benchmark regresses when its ns/op exceeds
+// the baseline by more than the tolerance fraction, or its allocs/op
+// does so beyond a small absolute slack. Benchmarks present on only one
+// side are reported but never fail the gate, so adding a benchmark does
+// not require regenerating the baseline in the same change.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -42,16 +56,65 @@ type Baseline struct {
 }
 
 func main() {
-	base := Baseline{
+	comparePath := flag.String("compare", "", "baseline JSON to gate the fresh run against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op and allocs/op growth for -compare")
+	flag.Parse()
+
+	base, err := parseBenchOutput(os.Stdin, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: writing json:", err)
+		os.Exit(1)
+	}
+
+	if *comparePath == "" {
+		return
+	}
+	raw, err := os.ReadFile(*comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading baseline:", err)
+		os.Exit(1)
+	}
+	var old Baseline
+	if err := json.Unmarshal(raw, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *comparePath, err)
+		os.Exit(1)
+	}
+	regressions, notes := compareBaselines(&old, base, *tolerance)
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "benchjson: note:", n)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s (tolerance %.0f%%)\n",
+			len(regressions), *comparePath, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
+		len(base.Benchmarks), *tolerance*100, *comparePath)
+}
+
+// parseBenchOutput scans `go test -bench` output, echoing every line to
+// echo, and returns the parsed baseline. It errors when no benchmark
+// lines appear (a typo'd -bench pattern should fail loudly).
+func parseBenchOutput(r io.Reader, echo io.Writer) (*Baseline, error) {
+	base := &Baseline{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Fprintln(os.Stderr, line)
+		fmt.Fprintln(echo, line)
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
 			base.CPU = cpu
 			continue
@@ -61,19 +124,56 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
-		os.Exit(1)
+		return nil, fmt.Errorf("reading stdin: %w", err)
 	}
 	if len(base.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(base); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: writing json:", err)
-		os.Exit(1)
+	return base, nil
+}
+
+// allocSlack is the absolute allocs/op growth always permitted on top
+// of the fractional tolerance: low-count benchmarks (say 3 allocs/op)
+// would otherwise fail on a single extra allocation that the fractional
+// rule was never meant to police.
+const allocSlack = 2.0
+
+// compareBaselines gates fresh results against old ones. A benchmark
+// regresses when ns/op grows beyond the tolerance fraction, or when
+// allocs/op grows beyond the fraction plus allocSlack. Benchmarks
+// missing from either side become notes, not regressions. ns/op noise
+// is the caller's problem: the tolerance must absorb machine jitter
+// (the committed default is 15%).
+func compareBaselines(old, fresh *Baseline, tolerance float64) (regressions, notes []string) {
+	byName := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byName[b.Name] = b
 	}
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		seen[b.Name] = true
+		ref, ok := byName[b.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (new benchmark?)", b.Name))
+			continue
+		}
+		if limit := ref.NsPerOp * (1 + tolerance); ref.NsPerOp > 0 && b.NsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit +%.0f%%)",
+				b.Name, b.NsPerOp, ref.NsPerOp, (b.NsPerOp/ref.NsPerOp-1)*100, tolerance*100))
+		}
+		if b.AllocsPer != nil && ref.AllocsPer != nil {
+			if limit := *ref.AllocsPer*(1+tolerance) + allocSlack; *b.AllocsPer > limit {
+				regressions = append(regressions, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (limit %.0f)",
+					b.Name, *b.AllocsPer, *ref.AllocsPer, limit))
+			}
+		}
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			notes = append(notes, fmt.Sprintf("%s: in baseline but not in this run", b.Name))
+		}
+	}
+	return regressions, notes
 }
 
 // parseBenchLine parses "BenchmarkName-8   100   123 ns/op   4 B/op ...".

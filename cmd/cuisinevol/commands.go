@@ -199,7 +199,12 @@ func cmdMine(args []string) error {
 	support := cf.fs.Float64("support", 0.05, "minimum support")
 	top := cf.fs.Int("top", 25, "number of combinations to print")
 	categories := cf.fs.Bool("categories", false, "mine category combinations")
+	kernelName := cf.fs.String("kernel", "auto", "mining kernel: auto, fpgrowth, eclat or apriori")
 	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	kernel, err := itemset.ParseKernel(*kernelName)
+	if err != nil {
 		return err
 	}
 	corpus, err := cf.corpus()
@@ -214,7 +219,7 @@ func cmdMine(args []string) error {
 	if *categories {
 		txs = view.CategoryTransactions()
 	}
-	res, err := itemset.FPGrowth(txs, *support)
+	res, err := itemset.Mine(txs, *support, itemset.MineOptions{Kernel: kernel})
 	if err != nil {
 		return err
 	}

@@ -159,15 +159,17 @@ func Overrepresented(c *Corpus, region string, k int) ([]RankedIngredient, error
 }
 
 // MineCombinations mines the frequent ingredient combinations (size >= 1,
-// support >= minSupport) of a cuisine, per the paper's §IV.
+// support >= minSupport) of a cuisine, per the paper's §IV. The mining
+// kernel is selected adaptively from the corpus shape; see
+// itemset.Mine for explicit kernel control.
 func MineCombinations(c *Corpus, region string, minSupport float64) (*MiningResult, error) {
-	return itemset.FPGrowth(c.Region(region).Transactions(), minSupport)
+	return itemset.Mine(c.Region(region).Transactions(), minSupport, itemset.MineOptions{})
 }
 
 // MineCategoryCombinations mines frequent combinations of ingredient
 // categories (Fig 3b).
 func MineCategoryCombinations(c *Corpus, region string, minSupport float64) (*MiningResult, error) {
-	return itemset.FPGrowth(c.Region(region).CategoryTransactions(), minSupport)
+	return itemset.Mine(c.Region(region).CategoryTransactions(), minSupport, itemset.MineOptions{})
 }
 
 // RankFrequency converts a mining result into the normalized
@@ -258,7 +260,7 @@ func CompareModels(c *Corpus, region string, opts CompareOptions) (*ModelCompari
 	if opts.Categories {
 		txs = view.CategoryTransactions()
 	}
-	mined, err := itemset.FPGrowth(txs, minSupport)
+	mined, err := itemset.Mine(txs, minSupport, itemset.MineOptions{})
 	if err != nil {
 		return nil, err
 	}

@@ -57,11 +57,11 @@ func RunFig3Ctx(ctx context.Context, cfg *Config) (*Fig3Result, error) {
 		minSupport = 0.05
 	}
 	res := &Fig3Result{}
-	res.Ingredients, err = buildPanel(ctx, corpus, minSupport, false, cfg.Workers)
+	res.Ingredients, err = buildPanel(ctx, corpus, minSupport, false, cfg.Workers, cfg.Kernel)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fig3a: %w", err)
 	}
-	res.Categories, err = buildPanel(ctx, corpus, minSupport, true, cfg.Workers)
+	res.Categories, err = buildPanel(ctx, corpus, minSupport, true, cfg.Workers, cfg.Kernel)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fig3b: %w", err)
 	}
@@ -115,18 +115,18 @@ func RunFig3Ctx(ctx context.Context, cfg *Config) (*Fig3Result, error) {
 // mines plus the aggregate mine are independent work items fanned out
 // through the shared scheduler; results land in Table I order, so the
 // panel is identical to the serial build.
-func buildPanel(ctx context.Context, corpus *recipe.Corpus, minSupport float64, categories bool, workers int) (Fig3Panel, error) {
+func buildPanel(ctx context.Context, corpus *recipe.Corpus, minSupport float64, categories bool, workers int, kernel itemset.Kernel) (Fig3Panel, error) {
 	panel := Fig3Panel{}
 	regions := cuisine.All()
 	dists, err := sched.CollectCtx(ctx, workers, len(regions)+1, func(i int) (rankfreq.Distribution, error) {
 		if i == len(regions) {
 			// The aggregate corpus mine (the "ALL" series) is the largest
 			// item; it runs alongside the per-cuisine mines.
-			d, err := mineView(corpus.AllView(), minSupport, categories)
+			d, err := mineView(corpus.AllView(), minSupport, categories, kernel)
 			d.Label = "ALL"
 			return d, err
 		}
-		return mineView(corpus.Region(regions[i].Code), minSupport, categories)
+		return mineView(corpus.Region(regions[i].Code), minSupport, categories, kernel)
 	})
 	if err != nil {
 		return Fig3Panel{}, err
@@ -157,13 +157,16 @@ func buildPanel(ctx context.Context, corpus *recipe.Corpus, minSupport float64, 
 }
 
 // mineView mines a corpus view's frequent combinations and returns the
-// rank-frequency distribution labeled with the view's region.
-func mineView(view recipe.View, minSupport float64, categories bool) (rankfreq.Distribution, error) {
+// rank-frequency distribution labeled with the view's region. The
+// kernel is forwarded to Mine — KernelAuto lets every view pick the
+// cheaper kernel for its own shape (category transactions are far
+// denser than ingredient ones) without changing the result.
+func mineView(view recipe.View, minSupport float64, categories bool, kernel itemset.Kernel) (rankfreq.Distribution, error) {
 	txs := view.Transactions()
 	if categories {
 		txs = view.CategoryTransactions()
 	}
-	result, err := itemset.FPGrowth(txs, minSupport)
+	result, err := itemset.Mine(txs, minSupport, itemset.MineOptions{Kernel: kernel})
 	if err != nil {
 		return rankfreq.Distribution{}, err
 	}

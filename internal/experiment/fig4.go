@@ -137,13 +137,14 @@ func RunFig4Ctx(ctx context.Context, cfg *Config, opts Fig4Options) (*Fig4Result
 				MinSupport: minSupport,
 				Categories: opts.Categories,
 				Workers:    cfg.Workers,
+				Kernel:     cfg.Kernel,
 			}
 		}
 	}
 
 	// Empirical mines, one work item per cuisine.
 	empirical, err := sched.CollectCtx(ctx, cfg.Workers, len(regions), func(r int) (rankfreq.Distribution, error) {
-		return mineView(corpus.Region(regions[r]), minSupport, opts.Categories)
+		return mineView(corpus.Region(regions[r]), minSupport, opts.Categories, cfg.Kernel)
 	})
 	if err != nil {
 		return nil, err

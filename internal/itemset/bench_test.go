@@ -82,3 +82,63 @@ func BenchmarkFPGrowthReplicateSweep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEclatReplicatePool is BenchmarkFPGrowthReplicatePool on the
+// vertical bitset kernel — the direct kernel-vs-kernel comparison on
+// the Fig 4 hot-path shape.
+func BenchmarkEclatReplicatePool(b *testing.B) {
+	txs := replicatePool(7, 30, 3000, 9, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eclat(txs, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEclatReplicateSweep mirrors BenchmarkFPGrowthReplicateSweep:
+// many replicate pools back to back, measuring bitmap/scratch reuse
+// through the kernel pool.
+func BenchmarkEclatReplicateSweep(b *testing.B) {
+	pools := make([][][]ingredient.ID, 16)
+	for i := range pools {
+		pools[i] = replicatePool(uint64(i+1), 30, 1500, 9, 300)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, txs := range pools {
+			if _, err := Eclat(txs, 0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEclatParallelReplicatePool runs the same pool through the
+// prefix-partitioned parallel path (the /v1/mine configuration).
+func BenchmarkEclatParallelReplicatePool(b *testing.B) {
+	txs := replicatePool(7, 30, 3000, 9, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(txs, 0.05, MineOptions{Kernel: KernelEclat, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineAutoReplicatePool measures the adaptive front end on the
+// replicate-pool shape: selection cost must be negligible next to the
+// mine itself.
+func BenchmarkMineAutoReplicatePool(b *testing.B) {
+	txs := replicatePool(7, 30, 3000, 9, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(txs, 0.05, MineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

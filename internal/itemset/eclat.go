@@ -1,0 +1,433 @@
+package itemset
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/sched"
+)
+
+// Eclat mines all frequent itemsets of size >= 1 with relative support
+// >= minSupport using a vertical bitset kernel (Zaki's Eclat over
+// bitmap tidsets). It produces exactly the same Result as Apriori and
+// FPGrowth — the cross-kernel differential tests pin the three kernels
+// to byte-identical canonical output.
+//
+// The vertical layout is built over the deduped transaction arena: the
+// transactions are projected onto the frequent items, identical
+// projections collapse into one transaction id with a weight, and each
+// frequent item gets a []uint64 bitmap over those unique ids. Support
+// of an extension is then one AND + popcount sweep (weight-summed when
+// duplicates exist). Depth-first expansion walks prefix equivalence
+// classes; all bitmap and class scratch is pooled per depth, so
+// steady-state mining allocates almost nothing beyond the Result.
+//
+// Dense short transactions — bounded-size recipes over a few hundred
+// ingredients, the regime of every pipeline in this repo — are exactly
+// where the vertical kernel beats the FP-tree; Mine's adaptive selector
+// encodes that heuristic (see ChooseKernel).
+func Eclat(txs [][]ingredient.ID, minSupport float64) (*Result, error) {
+	return eclatMine(txs, minSupport, 0)
+}
+
+// eclatMine runs the vertical kernel, fanning the top-level prefix
+// partitions over `workers` scheduler workers when workers > 1.
+func eclatMine(txs [][]ingredient.ID, minSupport float64, workers int) (*Result, error) {
+	m := eclatPool.Get().(*eclatMiner)
+	res, err := m.mine(txs, minSupport, workers)
+	eclatPool.Put(m)
+	return res, err
+}
+
+var eclatPool = sync.Pool{New: func() any { return newEclatMiner() }}
+
+// eclatShared is the read-only mining state the expansion workers
+// consume: built once per mine by the eclatMiner, then shared across
+// the top-level prefix partitions (safely — nothing here is written
+// after construction).
+type eclatShared struct {
+	freq     []itemCount // frequent items, ascending count then ID
+	words    int         // bitmap length in uint64 words
+	weighted bool        // any unique transaction with weight > 1
+	weights  []int32     // per unique-transaction multiplicity
+	bitmaps  []uint64    // item j occupies [j*words : (j+1)*words]
+	mc       int
+}
+
+// bitmap returns frequent item j's tidset bitmap.
+func (sh *eclatShared) bitmap(j int) []uint64 {
+	return sh.bitmaps[j*sh.words : (j+1)*sh.words]
+}
+
+// intersectCount writes a AND b into dst and returns the supported
+// weight of the intersection: a plain popcount when every unique
+// transaction occurred once, a weight sum over set bits otherwise.
+func (sh *eclatShared) intersectCount(a, b, dst []uint64) int {
+	b = b[:len(a)]
+	dst = dst[:len(a)]
+	cnt := 0
+	if !sh.weighted {
+		for i, av := range a {
+			w := av & b[i]
+			dst[i] = w
+			cnt += bits.OnesCount64(w)
+		}
+		return cnt
+	}
+	for i, av := range a {
+		w := av & b[i]
+		dst[i] = w
+		base := i << 6
+		for w != 0 {
+			cnt += int(sh.weights[base+bits.TrailingZeros64(w)])
+			w &= w - 1
+		}
+	}
+	return cnt
+}
+
+// eclatExt is one member of a prefix equivalence class: an extension
+// item with the tidset bitmap and support of prefix∪{item}.
+type eclatExt struct {
+	item  int32
+	bm    []uint64
+	count int
+}
+
+// eclatScratch is the per-worker expansion state: the suffix stack, one
+// bitmap buffer and one class slice per recursion depth, an emit arena,
+// and the output slice. Serial mining uses the miner's own scratch; the
+// parallel path draws one per top-level partition from a pool.
+type eclatScratch struct {
+	sh     *eclatShared
+	suffix []int32
+	levels [][]uint64   // per-depth bitmap buffers for candidate classes
+	class  [][]eclatExt // per-depth class scratch
+
+	// arenaFree is the unused tail of the current emit-arena chunk (the
+	// same carve-and-never-touch-again scheme as Miner.emit).
+	arenaFree []ingredient.ID
+	sets      []Itemset
+}
+
+// levelAt returns the depth's bitmap buffer with room for n words.
+func (s *eclatScratch) levelAt(depth, n int) []uint64 {
+	for len(s.levels) <= depth {
+		s.levels = append(s.levels, nil)
+	}
+	if cap(s.levels[depth]) < n {
+		s.levels[depth] = make([]uint64, n)
+	}
+	return s.levels[depth][:cap(s.levels[depth])]
+}
+
+// classAt returns the depth's class scratch, emptied.
+func (s *eclatScratch) classAt(depth int) []eclatExt {
+	for len(s.class) <= depth {
+		s.class = append(s.class, nil)
+	}
+	return s.class[depth][:0]
+}
+
+// emitWith records the itemset suffix∪{item} with the given count,
+// translating item order indices back to ingredient IDs sorted
+// ascending (the canonical itemset representation all kernels share).
+func (s *eclatScratch) emitWith(item int32, count int) {
+	k := len(s.suffix) + 1
+	if len(s.arenaFree) < k {
+		size := emitArenaChunk
+		if k > size {
+			size = k
+		}
+		s.arenaFree = make([]ingredient.ID, size)
+	}
+	items := s.arenaFree[:k:k]
+	s.arenaFree = s.arenaFree[k:]
+	for i, idx := range s.suffix {
+		items[i] = s.sh.freq[idx].item
+	}
+	items[k-1] = s.sh.freq[item].item
+	// Insertion sort: itemsets are small (recipe-bounded).
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j] < items[j-1]; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	s.sets = append(s.sets, Itemset{Items: items, Count: count})
+}
+
+// top expands the top-level prefix partition rooted at frequent item a:
+// all itemsets whose first (in item order) member is a and that contain
+// at least one later item. Partitions are independent, which is what
+// the parallel path exploits.
+func (s *eclatScratch) top(a int) {
+	sh := s.sh
+	k := len(sh.freq)
+	s.suffix = append(s.suffix[:0], int32(a))
+	buf := s.levelAt(0, (k-a-1)*sh.words)
+	class := s.classAt(0)
+	off := 0
+	for b := a + 1; b < k; b++ {
+		dst := buf[off : off+sh.words]
+		cnt := sh.intersectCount(sh.bitmap(a), sh.bitmap(b), dst)
+		if cnt >= sh.mc {
+			s.emitWith(int32(b), cnt)
+			class = append(class, eclatExt{item: int32(b), bm: dst, count: cnt})
+			off += sh.words
+		}
+	}
+	s.class[0] = class
+	if len(class) >= 2 {
+		s.expand(class, 1)
+	}
+	s.suffix = s.suffix[:0]
+}
+
+// expand walks one prefix equivalence class depth-first: for each
+// member a, the prefix grows by a's item and every later member b is
+// intersected against it; survivors form the next class. Candidate
+// bitmaps for a depth live in that depth's buffer — a failed candidate's
+// words are simply reused for the next one, and a whole class's buffer
+// is reused across siblings once their subtree is done.
+func (s *eclatScratch) expand(exts []eclatExt, depth int) {
+	sh := s.sh
+	for a := 0; a+1 < len(exts); a++ {
+		s.suffix = append(s.suffix, exts[a].item)
+		buf := s.levelAt(depth, (len(exts)-a-1)*sh.words)
+		class := s.classAt(depth)
+		off := 0
+		for b := a + 1; b < len(exts); b++ {
+			dst := buf[off : off+sh.words]
+			cnt := sh.intersectCount(exts[a].bm, exts[b].bm, dst)
+			if cnt >= sh.mc {
+				s.emitWith(exts[b].item, cnt)
+				class = append(class, eclatExt{item: exts[b].item, bm: dst, count: cnt})
+				off += sh.words
+			}
+		}
+		s.class[depth] = class
+		if len(class) >= 2 {
+			s.expand(class, depth+1)
+		}
+		s.suffix = s.suffix[:len(s.suffix)-1]
+	}
+}
+
+// eclatWorkerPool recycles expansion scratch for the parallel path; the
+// serial path uses the miner's embedded scratch.
+var eclatWorkerPool = sync.Pool{New: func() any { return &eclatScratch{} }}
+
+// eclatMiner is the reusable vertical-kernel state: the counting and
+// dedup maps, the unique-transaction arena, the top-level bitmaps, and
+// a serial expansion scratch. Not safe for concurrent use; Eclat draws
+// miners from a pool.
+type eclatMiner struct {
+	counts map[ingredient.ID]int
+	order  map[ingredient.ID]int32
+	dedup  map[string]int32
+	keyBuf []byte
+	buf    []int32
+
+	// Unique projected transactions, flattened (same arena layout as
+	// the FP-Growth miner): transaction u occupies
+	// txArena[txOff[u]:txOff[u+1]] and occurred weights[u] times.
+	txArena []int32
+	txOff   []int32
+
+	shared  eclatShared
+	scratch eclatScratch
+}
+
+func newEclatMiner() *eclatMiner {
+	return &eclatMiner{
+		counts: make(map[ingredient.ID]int),
+		order:  make(map[ingredient.ID]int32),
+		dedup:  make(map[string]int32),
+	}
+}
+
+func (m *eclatMiner) mine(txs [][]ingredient.ID, minSupport float64, workers int) (*Result, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, ErrBadSupport
+	}
+	if err := validateTransactions(txs); err != nil {
+		return nil, err
+	}
+	n := len(txs)
+	res := &Result{N: n}
+	if n == 0 {
+		return res, nil
+	}
+	sh := &m.shared
+	sh.mc = minCount(n, minSupport)
+
+	clear(m.counts)
+	for _, tx := range txs {
+		for _, it := range tx {
+			m.counts[it]++
+		}
+	}
+	// Item order: ascending count, ties by ascending ID — the standard
+	// Eclat order, keeping early intersections small so classes thin out
+	// fast. Any fixed order yields the same canonical Result.
+	sh.freq = sh.freq[:0]
+	for it, c := range m.counts {
+		if c >= sh.mc {
+			sh.freq = append(sh.freq, itemCount{it, c})
+		}
+	}
+	sort.Slice(sh.freq, func(i, j int) bool {
+		if sh.freq[i].count != sh.freq[j].count {
+			return sh.freq[i].count < sh.freq[j].count
+		}
+		return sh.freq[i].item < sh.freq[j].item
+	})
+	clear(m.order)
+	for j, ic := range sh.freq {
+		m.order[ic.item] = int32(j)
+	}
+
+	m.dedupTransactions(txs)
+	m.buildBitmaps()
+
+	// Singletons come straight from the global counts.
+	s := &m.scratch
+	s.sh = sh
+	s.sets = s.sets[:0]
+	s.suffix = s.suffix[:0]
+	for _, ic := range sh.freq {
+		s.emitSingleton(ic)
+	}
+
+	k := len(sh.freq)
+	if workers > 1 && k > 2 {
+		// Top-level prefix partitions are independent subtrees; fan them
+		// out through the shared scheduler. Partition results are collected
+		// by index and concatenated in order, and the canonical sort below
+		// makes the Result identical to the serial walk regardless.
+		serialSets := s.sets
+		parts, err := sched.Collect(workers, k-1, func(a int) ([]Itemset, error) {
+			w := eclatWorkerPool.Get().(*eclatScratch)
+			w.sh = sh
+			w.sets = nil // results are returned; never recycle them
+			w.top(a)
+			sets := w.sets
+			w.sets = nil
+			w.sh = nil
+			eclatWorkerPool.Put(w)
+			return sets, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Sets = serialSets
+		for _, p := range parts {
+			res.Sets = append(res.Sets, p...)
+		}
+		s.sets = nil // handed to the caller; don't retain in the pool
+	} else {
+		for a := 0; a+1 < k; a++ {
+			s.top(a)
+		}
+		res.Sets = s.sets
+		s.sets = nil
+	}
+	sortCanonical(res.Sets)
+	return res, nil
+}
+
+// emitSingleton records a size-1 itemset from the global count pass.
+func (s *eclatScratch) emitSingleton(ic itemCount) {
+	if len(s.arenaFree) < 1 {
+		s.arenaFree = make([]ingredient.ID, emitArenaChunk)
+	}
+	items := s.arenaFree[:1:1]
+	s.arenaFree = s.arenaFree[1:]
+	items[0] = ic.item
+	s.sets = append(s.sets, Itemset{Items: items, Count: ic.count})
+}
+
+// dedupTransactions projects every transaction onto the frequent items
+// and collapses identical projections into (transaction, weight) pairs —
+// the same dedup the FP-Growth kernel performs before tree insertion.
+// Replicate pools are copies by construction, so the unique-transaction
+// count (and with it every bitmap's length) is typically several-fold
+// smaller than the input.
+func (m *eclatMiner) dedupTransactions(txs [][]ingredient.ID) {
+	sh := &m.shared
+	clear(m.dedup)
+	m.txArena = m.txArena[:0]
+	m.txOff = append(m.txOff[:0], 0)
+	sh.weights = sh.weights[:0]
+	wide := len(sh.freq) > 0xffff
+	buf := m.buf[:0]
+	for _, tx := range txs {
+		buf = buf[:0]
+		for _, it := range tx {
+			if idx, ok := m.order[it]; ok {
+				buf = append(buf, idx)
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sortInt32s(buf)
+		m.keyBuf = m.keyBuf[:0]
+		if wide {
+			for _, v := range buf {
+				m.keyBuf = append(m.keyBuf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+			}
+		} else {
+			for _, v := range buf {
+				m.keyBuf = append(m.keyBuf, byte(v>>8), byte(v))
+			}
+		}
+		if u, ok := m.dedup[string(m.keyBuf)]; ok {
+			sh.weights[u]++
+			continue
+		}
+		m.dedup[string(m.keyBuf)] = int32(len(sh.weights))
+		m.txArena = append(m.txArena, buf...)
+		m.txOff = append(m.txOff, int32(len(m.txArena)))
+		sh.weights = append(sh.weights, 1)
+	}
+	m.buf = buf[:0]
+	sh.weighted = false
+	for _, w := range sh.weights {
+		if w > 1 {
+			sh.weighted = true
+			break
+		}
+	}
+}
+
+// buildBitmaps lays out one tidset bitmap per frequent item over the
+// unique transaction ids, all in one contiguous arena. The weights
+// slice is padded to a whole word so the weighted intersect loop can
+// index by bit position without bounds branches.
+func (m *eclatMiner) buildBitmaps() {
+	sh := &m.shared
+	u := len(sh.weights)
+	sh.words = (u + 63) / 64
+	need := len(sh.freq) * sh.words
+	if cap(sh.bitmaps) < need {
+		sh.bitmaps = make([]uint64, need)
+	}
+	sh.bitmaps = sh.bitmaps[:need]
+	for i := range sh.bitmaps {
+		sh.bitmaps[i] = 0
+	}
+	for t := 0; t+1 < len(m.txOff); t++ {
+		word, bit := uint64(t>>6), uint64(t&63)
+		for _, j := range m.txArena[m.txOff[t]:m.txOff[t+1]] {
+			sh.bitmaps[int(j)*sh.words+int(word)] |= 1 << bit
+		}
+	}
+	if sh.weighted {
+		for len(sh.weights) < sh.words*64 {
+			sh.weights = append(sh.weights, 0)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 // Package itemset implements frequent-itemset mining over recipe
 // transactions: the combinations "of size 1 and greater which appeared in
-// at least 5% of all recipes in a cuisine" (paper, §IV). Two miners are
-// provided — level-wise Apriori and FP-Growth — which produce identical
-// results (cross-checked in tests); FP-Growth is the default for large
-// corpora.
+// at least 5% of all recipes in a cuisine" (paper, §IV). Three miners
+// are provided — level-wise Apriori, FP-Growth, and the Eclat vertical
+// bitset kernel — which produce byte-identical canonical results
+// (cross-checked by the differential and fuzz tests). Mine is the
+// front end: it picks the cheaper kernel for a corpus's shape, with
+// MineOptions.Kernel forcing a specific one.
 package itemset
 
 import (

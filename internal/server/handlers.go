@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -258,18 +259,26 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	support, serr := parseFloat(r, "support", s.opts.MinSupport, 0, 1)
 	top, terr := parseInt(r, "top", 25, 1, 100000)
 	categories, cerr := parseBool(r, "categories", false)
-	if err = firstErr(err, serr, terr, cerr); err != nil {
+	kernel, kerr := parseKernel(r)
+	if err = firstErr(err, serr, terr, cerr, kerr); err != nil {
 		s.writeError(w, err)
 		return
 	}
-	canon := canonicalParams("categories", categories, "region", region, "support", support, "top", top)
+	// The kernel is part of the cache key even though every kernel
+	// returns byte-identical bodies: the key addresses the computation
+	// that was requested, and collapsing kernels in the key would make
+	// an explicit kernel=eclat request silently serve an fpgrowth
+	// entry — correct bytes, wrong observable (and vice versa). The
+	// handler tests pin both properties: identical bodies, distinct
+	// keys.
+	canon := canonicalParams("categories", categories, "kernel", kernel.String(), "region", region, "support", support, "top", top)
 	s.serveComputed(w, r, "/v1/mine", canon, func(ctx context.Context) (any, error) {
 		view := s.corpus.Region(region)
 		txs := view.Transactions()
 		if categories {
 			txs = view.CategoryTransactions()
 		}
-		res, err := itemset.FPGrowth(txs, support)
+		res, err := itemset.Mine(txs, support, itemset.MineOptions{Kernel: kernel, Workers: s.mineWorkers()})
 		if err != nil {
 			return nil, err
 		}
@@ -342,7 +351,7 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 	canon := canonicalParams("model", kind.String(), "region", region, "replicates", replicates, "support", support)
 	s.serveComputed(w, r, "/v1/evolve", canon, func(ctx context.Context) (any, error) {
 		view := s.corpus.Region(region)
-		empirical, err := itemset.FPGrowth(view.Transactions(), support)
+		empirical, err := itemset.Mine(view.Transactions(), support, itemset.MineOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -437,6 +446,27 @@ func (s *Server) parseRegion(r *http.Request) (string, error) {
 		return "", notFound("unknown cuisine %q", code)
 	}
 	return code, nil
+}
+
+// parseKernel reads the mining-kernel parameter; the default is
+// adaptive selection.
+func parseKernel(r *http.Request) (itemset.Kernel, error) {
+	raw := r.URL.Query().Get("kernel")
+	k, err := itemset.ParseKernel(raw)
+	if err != nil {
+		return 0, badRequest("invalid kernel %q (use auto, fpgrowth, eclat or apriori)", raw)
+	}
+	return k, nil
+}
+
+// mineWorkers resolves the worker budget a single /v1/mine computation
+// may fan its Eclat prefix partitions over (the Workers option, or
+// GOMAXPROCS when unset — the same resolution internal/sched applies).
+func (s *Server) mineWorkers() int {
+	if s.opts.Workers > 0 {
+		return s.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // parseModelKind maps a model name to its evomodel.Kind.
