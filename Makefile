@@ -13,12 +13,17 @@ GO ?= go
 # Per-target fuzzing budget for `make fuzz` (the CI smoke uses the same).
 FUZZTIME ?= 30s
 
-# The perf-trajectory benchmarks: the FP-Growth and Eclat mining kernels
-# and the Fig 3/4 pipelines they feed (see ISSUE/DESIGN "Performance
-# architecture").
-BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4
+# The perf-trajectory benchmarks: the FP-Growth and Eclat mining kernels,
+# the Fig 3/4 pipelines they feed, and the arena simulation kernel behind
+# them (see ISSUE/DESIGN "Performance architecture").
+BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4|EvolveRun|EnsembleReplicates
 
-.PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline benchgate
+# The simulation benchmarks whose allocs/op are hard-gated in CI:
+# allocation counts are deterministic, so this subset can fail the build
+# even on noisy shared runners.
+ALLOC_GATE_PATTERN := EvolveRun|EnsembleReplicates|Fig4
+
+.PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline benchgate benchgate-allocs
 
 check: vet build race bench-smoke
 
@@ -77,3 +82,12 @@ BENCH_TOLERANCE ?= 0.15
 benchgate:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... \
 		| $(GO) run ./cmd/benchjson -compare BENCH_fig_pipeline.json -tolerance $(BENCH_TOLERANCE) > /dev/null
+
+# benchgate-allocs gates only the simulation benchmarks, and only on
+# allocs/op (deterministic, noise-free): >ALLOC_TOLERANCE growth against
+# the committed baseline fails. This is the non-advisory CI gate.
+ALLOC_TOLERANCE ?= 0.25
+benchgate-allocs:
+	$(GO) test -run '^$$' -bench '$(ALLOC_GATE_PATTERN)' -benchmem -benchtime 1x ./... \
+		| $(GO) run ./cmd/benchjson -compare BENCH_fig_pipeline.json \
+			-alloc-gate '$(ALLOC_GATE_PATTERN)' -alloc-tolerance $(ALLOC_TOLERANCE) > /dev/null

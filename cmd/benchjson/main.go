@@ -21,6 +21,19 @@
 // does so beyond a small absolute slack. Benchmarks present on only one
 // side are reported but never fail the gate, so adding a benchmark does
 // not require regenerating the baseline in the same change.
+//
+// With -alloc-gate <regexp> (requires -compare), the gate switches to
+// allocation-only mode: only benchmarks matching the regexp are gated,
+// only on allocs/op (against -alloc-tolerance, default 0.25), and ns/op
+// drift is demoted to a note. Allocation counts are deterministic, so
+// this mode is safe to enforce on shared CI runners where wall-clock
+// gating would flake:
+//
+//	go test -run '^$' -bench 'EvolveRun|EnsembleReplicates|Fig4' -benchmem . \
+//	    | go run ./cmd/benchjson -compare BENCH_fig_pipeline.json \
+//	        -alloc-gate 'EvolveRun|EnsembleReplicates|Fig4' > /dev/null
+//
+// (or `make benchgate-allocs`).
 package main
 
 import (
@@ -30,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -58,7 +72,22 @@ type Baseline struct {
 func main() {
 	comparePath := flag.String("compare", "", "baseline JSON to gate the fresh run against; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op and allocs/op growth for -compare")
+	allocGate := flag.String("alloc-gate", "", "regexp of benchmarks gated on allocs/op only (ns/op becomes advisory); requires -compare")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.25, "allowed fractional allocs/op growth for -alloc-gate")
 	flag.Parse()
+
+	var allocRe *regexp.Regexp
+	if *allocGate != "" {
+		if *comparePath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -alloc-gate requires -compare")
+			os.Exit(1)
+		}
+		var err error
+		if allocRe, err = regexp.Compile(*allocGate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -alloc-gate pattern:", err)
+			os.Exit(1)
+		}
+	}
 
 	base, err := parseBenchOutput(os.Stdin, os.Stderr)
 	if err != nil {
@@ -85,20 +114,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *comparePath, err)
 		os.Exit(1)
 	}
-	regressions, notes := compareBaselines(&old, base, *tolerance)
+	var regressions, notes []string
+	if allocRe != nil {
+		regressions, notes = compareAllocs(&old, base, allocRe, *allocTolerance)
+	} else {
+		regressions, notes = compareBaselines(&old, base, *tolerance)
+	}
 	for _, n := range notes {
 		fmt.Fprintln(os.Stderr, "benchjson: note:", n)
+	}
+	gateTol := *tolerance
+	if allocRe != nil {
+		gateTol = *allocTolerance
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s (tolerance %.0f%%)\n",
-			len(regressions), *comparePath, *tolerance*100)
+			len(regressions), *comparePath, gateTol*100)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
-		len(base.Benchmarks), *tolerance*100, *comparePath)
+		len(base.Benchmarks), gateTol*100, *comparePath)
 }
 
 // parseBenchOutput scans `go test -bench` output, echoing every line to
@@ -171,6 +209,42 @@ func compareBaselines(old, fresh *Baseline, tolerance float64) (regressions, not
 	for _, b := range old.Benchmarks {
 		if !seen[b.Name] {
 			notes = append(notes, fmt.Sprintf("%s: in baseline but not in this run", b.Name))
+		}
+	}
+	return regressions, notes
+}
+
+// compareAllocs is the allocation-only gate behind -alloc-gate: only
+// benchmarks matching re are gated, and only their allocs/op counts,
+// which are deterministic and therefore safe to enforce on noisy
+// runners. ns/op drift beyond the tolerance is reported as a note so
+// the signal stays visible without failing the build. The same
+// allocSlack applies on top of the fraction, for low-count benchmarks.
+func compareAllocs(old, fresh *Baseline, re *regexp.Regexp, tolerance float64) (regressions, notes []string) {
+	byName := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range fresh.Benchmarks {
+		ref, ok := byName[b.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (new benchmark?)", b.Name))
+			continue
+		}
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		if ref.NsPerOp > 0 && b.NsPerOp > ref.NsPerOp*(1+tolerance) {
+			notes = append(notes, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, advisory in alloc mode)",
+				b.Name, b.NsPerOp, ref.NsPerOp, (b.NsPerOp/ref.NsPerOp-1)*100))
+		}
+		if b.AllocsPer == nil || ref.AllocsPer == nil {
+			notes = append(notes, fmt.Sprintf("%s: matched -alloc-gate but allocs/op missing (run with -benchmem)", b.Name))
+			continue
+		}
+		if limit := *ref.AllocsPer*(1+tolerance) + allocSlack; *b.AllocsPer > limit {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (limit %.0f)",
+				b.Name, *b.AllocsPer, *ref.AllocsPer, limit))
 		}
 	}
 	return regressions, notes

@@ -2,11 +2,21 @@ package main
 
 import (
 	"io"
+	"regexp"
 	"strings"
 	"testing"
 )
 
 func fptr(v float64) *float64 { return &v }
+
+func mustCompile(t *testing.T, pattern string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}
 
 func TestParseBenchLine(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkEclatReplicatePool-8   	     960	   1168830 ns/op	   56780 B/op	     808 allocs/op")
@@ -102,6 +112,53 @@ func TestCompareBaselines(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			regs, notes := compareBaselines(old, &Baseline{Benchmarks: tc.fresh}, 0.15)
+			if len(regs) != tc.regressions {
+				t.Errorf("regressions = %v, want %d", regs, tc.regressions)
+			}
+			if len(notes) != tc.notes {
+				t.Errorf("notes = %v, want %d", notes, tc.notes)
+			}
+		})
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	old := &Baseline{Benchmarks: []Benchmark{
+		{Name: "BenchmarkEvolveRun/CM-R", NsPerOp: 1000, AllocsPer: fptr(100)},
+		{Name: "BenchmarkFig4ModelComparison", NsPerOp: 1000, AllocsPer: fptr(1000)},
+		{Name: "BenchmarkUnrelated", NsPerOp: 1000, AllocsPer: fptr(10)},
+		{Name: "BenchmarkNoMem", NsPerOp: 1000},
+	}}
+	re := mustCompile(t, "EvolveRun|Fig4|NoMem")
+
+	cases := []struct {
+		name        string
+		fresh       []Benchmark
+		regressions int
+		notes       int
+	}{
+		{"within alloc tolerance", []Benchmark{
+			{Name: "BenchmarkEvolveRun/CM-R", NsPerOp: 1000, AllocsPer: fptr(120)},
+		}, 0, 0},
+		{"alloc regression fails", []Benchmark{
+			{Name: "BenchmarkFig4ModelComparison", NsPerOp: 1000, AllocsPer: fptr(1300)},
+		}, 1, 0},
+		{"ns regression is only a note", []Benchmark{
+			{Name: "BenchmarkEvolveRun/CM-R", NsPerOp: 5000, AllocsPer: fptr(100)},
+		}, 0, 1},
+		{"non-matching benchmark never gated", []Benchmark{
+			{Name: "BenchmarkUnrelated", NsPerOp: 9000, AllocsPer: fptr(9000)},
+		}, 0, 0},
+		{"missing allocs on a gated benchmark is a note", []Benchmark{
+			{Name: "BenchmarkNoMem", NsPerOp: 1000},
+		}, 0, 1},
+		{"new benchmark is a note, not a failure", []Benchmark{
+			{Name: "BenchmarkEvolveRun/NEW", NsPerOp: 1, AllocsPer: fptr(1)},
+		}, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs, notes := compareAllocs(old, &Baseline{Benchmarks: tc.fresh}, re, 0.25)
 			if len(regs) != tc.regressions {
 				t.Errorf("regressions = %v, want %d", regs, tc.regressions)
 			}

@@ -7,6 +7,7 @@ import (
 
 	"cuisinevol/internal/ingredient"
 	"cuisinevol/internal/itemset"
+	"cuisinevol/internal/randx"
 	"cuisinevol/internal/rankfreq"
 	"cuisinevol/internal/sched"
 )
@@ -134,16 +135,26 @@ func ReplicateDistribution(cfg EnsembleConfig, lex *ingredient.Lexicon, rep int)
 	return runReplicate(cfg, lex, label, rep)
 }
 
-// runReplicate executes one model run and mines its combinations.
+// runReplicate executes one model run and mines its combinations. This
+// is the zero-copy evolve→mine boundary: the pooled machine emits
+// sorted transactions (ingredient or category, per cfg.Categories)
+// directly into its own reusable buffers and hands them to itemset.Mine,
+// which encodes without mutating or retaining its input — no per-recipe
+// clone, no second sort, no per-replicate machine construction.
 func runReplicate(cfg EnsembleConfig, lex *ingredient.Lexicon, label string, rep int) (rankfreq.Distribution, error) {
 	p := cfg.Params
 	p.Seed = replicateSeed(p.Seed, rep)
-	txs, err := Run(p, lex)
-	if err != nil {
+	if err := p.validate(); err != nil {
 		return rankfreq.Distribution{}, err
 	}
+	m := acquireMachine(p, lex, randx.New(p.Seed))
+	defer releaseMachine(m)
+	m.evolve()
+	var txs [][]ingredient.ID
 	if cfg.Categories {
-		txs = toCategoryTransactions(txs, lex)
+		txs = m.emitCategoryTransactions()
+	} else {
+		txs = m.emitTransactions()
 	}
 	res, err := itemset.Mine(txs, cfg.MinSupport, itemset.MineOptions{Kernel: cfg.Kernel})
 	if err != nil {

@@ -8,11 +8,22 @@
 // duplication and fitness-biased mutation, growing the ingredient pool so
 // that its size tracks φ·(recipe count), where φ is the empirical ratio
 // of unique ingredients to recipes in the cuisine being modeled.
+//
+// The simulation kernel is arena-backed and reusable: recipes live in a
+// single flat []ingredient.ID arena addressed by (offset, length)
+// headers, machines reset instead of reallocating (a sync.Pool hands the
+// same machine to each scheduler worker across all the replicates it
+// runs), and the evolve→mine boundary emits sorted transactions directly
+// into machine-owned packed buffers. The kernel is pinned byte-for-byte
+// against the retained per-recipe-slice reference implementation (see
+// reference.go and the differential tests): every RNG draw happens in
+// the same order, so outputs are identical at every seed.
 package evomodel
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cuisinevol/internal/ingredient"
 	"cuisinevol/internal/randx"
@@ -92,8 +103,12 @@ type Params struct {
 	// Seed drives all randomness of the run.
 	Seed uint64
 
-	// MixtureRatio is CM-M's probability of a same-category draw
-	// (default 0.5, exactly the paper's "half the time").
+	// MixtureRatio is CM-M's probability of a same-category draw. Any
+	// negative value selects the paper's default of 0.5 ("half the
+	// time"); 0 is honored literally, making the replacement draw always
+	// pool-wide (an always-random CM-M). ParamsForView sets 0.5
+	// explicitly, so derived parameter sets are unaffected by the
+	// sentinel.
 	MixtureRatio float64
 	// FixedIterations selects the printed-algorithm variant that loops
 	// exactly N − n times (spending some iterations on pool growth and
@@ -173,11 +188,14 @@ func (p *Params) validate() error {
 	if p.Mutations < 0 {
 		return fmt.Errorf("evomodel: Mutations must be non-negative, got %d", p.Mutations)
 	}
-	if p.MixtureRatio == 0 {
+	if p.MixtureRatio < 0 {
+		// Sentinel: negative selects the paper default. A literal 0 is
+		// honored (always-random CM-M), which the old 0-means-default
+		// coercion made unrepresentable.
 		p.MixtureRatio = 0.5
 	}
-	if p.MixtureRatio < 0 || p.MixtureRatio > 1 {
-		return fmt.Errorf("evomodel: MixtureRatio must be in [0,1], got %v", p.MixtureRatio)
+	if p.MixtureRatio > 1 {
+		return fmt.Errorf("evomodel: MixtureRatio must be in [0,1] or negative for the default, got %v", p.MixtureRatio)
 	}
 	if p.InsertProb < 0 || p.DeleteProb < 0 || p.InsertProb+p.DeleteProb > 1 {
 		return fmt.Errorf("evomodel: InsertProb/DeleteProb must be non-negative with sum <= 1, got %v + %v",
@@ -197,24 +215,35 @@ func (p *Params) validate() error {
 
 // Run executes Algorithm 1 with the given parameters and returns the
 // evolved recipe pool as transactions: each recipe a strictly ascending
-// []ingredient.ID, ready for frequent-itemset mining.
+// []ingredient.ID, ready for frequent-itemset mining. The returned
+// recipes share one packed backing array; callers must not append to
+// individual transactions.
 func Run(params Params, lex *ingredient.Lexicon) ([][]ingredient.ID, error) {
 	p := params
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	src := randx.New(p.Seed)
-	m := newMachine(p, lex, src)
+	m := acquireMachine(p, lex, randx.New(p.Seed))
+	defer releaseMachine(m)
 	m.evolve()
-	return m.transactions(), nil
+	return m.cloneTransactions(), nil
 }
 
-// machine is the mutable state of one run. Per-ingredient state
-// (fitness, pool membership, usage) is held in dense slices indexed by
-// the raw ingredient ID — lexicon IDs are sequential, so the ID itself
-// is the dense index; the slices are sized once per run to the largest
-// ID in I. This replaces the per-run map churn the hot loop used to pay
-// on every fitness lookup.
+// span addresses one recipe inside the machine's arena. Offsets are
+// int32: the largest corpus the models target (158k recipes × ≤38
+// ingredients) stays far below 2³¹ items.
+type span struct{ off, n int32 }
+
+// machine is the mutable state of one run, built for reuse across runs:
+// all per-ingredient state (fitness, pool membership, usage) is held in
+// dense slices indexed by the raw ingredient ID, recipes live in a
+// single growable arena addressed by spans instead of one heap slice
+// each, and every scratch buffer (sampling, shuffling, weighted draws,
+// transaction emission) is retained between runs. reset(p, lex, src)
+// reinitializes the machine for new parameters without discarding any
+// backing storage; acquireMachine/releaseMachine wrap a sync.Pool so
+// each scheduler worker effectively reuses one machine across all the
+// replicates it executes.
 type machine struct {
 	p   Params
 	lex *ingredient.Lexicon
@@ -227,15 +256,53 @@ type machine struct {
 	// poolByCategory supports CM-C/CM-M draws; grown alongside pool.
 	poolByCategory [ingredient.NumCategories][]ingredient.ID
 
-	recipes [][]ingredient.ID // the recipe pool R₀ (unsorted item order)
+	arena []ingredient.ID // every recipe's items, packed (unsorted item order)
+	recs  []span          // the recipe pool R₀: one header per recipe
+
 	// usage tracks per-ingredient recipe counts for the preferential-
-	// attachment alternative model; nil for other kinds.
-	usage []int
+	// attachment alternative model; nil for other kinds (usageBuf is the
+	// retained backing storage).
+	usage    []int
+	usageBuf []int
 	// lineage, when non-nil, records each recipe's mother index
 	// (RunWithLineage); lastMother carries the pending mother between
-	// copyMutate and addRecipe.
+	// copyMutate and commitRecipe.
 	lineage    *Lineage
 	lastMother int32
+
+	shuffle []ingredient.ID // scratch: clone of I for the initial shuffle
+	sample  randx.SampleBuf // scratch: uniform without-replacement draws
+	taken   []bool          // scratch: weighted without-replacement draws
+
+	// Emission buffers: sorted transactions handed to the miner without
+	// per-recipe allocation (see emitTransactions).
+	txArena []ingredient.ID
+	txHeads [][]ingredient.ID
+}
+
+// machinePool recycles machines across runs and replicates. Workers of
+// the shared scheduler each Get a machine per replicate; because Put
+// happens on the same goroutine, steady state is one machine per
+// worker, reset between replicates.
+var machinePool = sync.Pool{New: func() any { return new(machine) }}
+
+// acquireMachine returns a pooled machine reset to the given
+// (validated) parameters.
+func acquireMachine(p Params, lex *ingredient.Lexicon, src *randx.Source) *machine {
+	m := machinePool.Get().(*machine)
+	m.reset(p, lex, src)
+	return m
+}
+
+// releaseMachine drops the machine's references to caller-owned data
+// and returns it to the pool. Buffers are retained.
+func releaseMachine(m *machine) {
+	m.p = Params{}
+	m.lex = nil
+	m.src = nil
+	m.usage = nil
+	m.lineage = nil
+	machinePool.Put(m)
 }
 
 // bitset is a dense membership set keyed by ingredient ID.
@@ -258,43 +325,74 @@ func maxIngredientID(ids []ingredient.ID) ingredient.ID {
 	return max
 }
 
-func newMachine(p Params, lex *ingredient.Lexicon, src *randx.Source) *machine {
+// reset reinitializes the machine for the given parameters, reusing all
+// backing storage. The RNG draw order — fitness assignment, pool
+// shuffle, initial recipe sampling — exactly matches the reference
+// implementation's construction, which the differential tests pin.
+func (m *machine) reset(p Params, lex *ingredient.Lexicon, src *randx.Source) {
+	m.p, m.lex, m.src = p, lex, src
 	size := int(maxIngredientID(p.Ingredients)) + 1
-	m := &machine{
-		p:       p,
-		lex:     lex,
-		src:     src,
-		fitness: make([]float64, size),
-		inPool:  newBitset(size),
+	if cap(m.fitness) < size {
+		m.fitness = make([]float64, size)
+	} else {
+		m.fitness = m.fitness[:size]
+		clear(m.fitness)
 	}
+	words := (size + 63) / 64
+	if cap(m.inPool) < words {
+		m.inPool = newBitset(size)
+	} else {
+		m.inPool = m.inPool[:words]
+		clear(m.inPool)
+	}
+	m.pool = m.pool[:0]
+	for c := range m.poolByCategory {
+		m.poolByCategory[c] = m.poolByCategory[c][:0]
+	}
+	m.arena, m.recs = m.arena[:0], m.recs[:0]
+	m.usage, m.lineage, m.lastMother = nil, nil, -1
+
 	// Step 1: fitness ~ Uniform(0,1) for every ingredient in I.
 	for _, id := range p.Ingredients {
 		m.fitness[id] = src.Float64()
 	}
 	// Step 2: I₀ = m random ingredients from I; I ← I − I₀.
-	all := append([]ingredient.ID(nil), p.Ingredients...)
+	m.shuffle = append(m.shuffle[:0], p.Ingredients...)
+	all := m.shuffle
 	src.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
 	for _, id := range all[:p.InitialPool] {
 		m.addToPool(id)
 	}
-	m.reserve = all[p.InitialPool:]
+	m.reserve = append(m.reserve[:0], all[p.InitialPool:]...)
 	if p.Kind == PreferentialAttachment {
-		m.usage = make([]int, size)
+		if cap(m.usageBuf) < size {
+			m.usageBuf = make([]int, size)
+		} else {
+			m.usageBuf = m.usageBuf[:size]
+			clear(m.usageBuf)
+		}
+		m.usage = m.usageBuf
 	}
 	// Initial recipe pool R₀: n recipes of s̄ ingredients from I₀.
 	for i := 0; i < p.InitialRecipes; i++ {
-		m.addRecipe(m.sampleRecipe(m.pool))
+		m.sampleRecipeInto(m.pool)
 	}
-	return m
 }
 
-// addRecipe appends a recipe to the pool, maintaining the usage index
-// when the preferential-attachment model needs it and the genealogy when
-// lineage tracking is on.
-func (m *machine) addRecipe(r []ingredient.ID) {
-	m.recipes = append(m.recipes, r)
+// recipeAt returns recipe i's items (unsorted, live in the arena).
+func (m *machine) recipeAt(i int) []ingredient.ID {
+	h := m.recs[i]
+	return m.arena[h.off : h.off+h.n]
+}
+
+// commitRecipe finalizes the recipe occupying the arena from off to the
+// arena's end: it records the span header, maintains the usage index
+// when the preferential-attachment model needs it, and appends to the
+// genealogy when lineage tracking is on.
+func (m *machine) commitRecipe(off int32) {
+	m.recs = append(m.recs, span{off: off, n: int32(len(m.arena)) - off})
 	if m.usage != nil {
-		for _, id := range r {
+		for _, id := range m.arena[off:] {
 			m.usage[id]++
 		}
 	}
@@ -311,19 +409,20 @@ func (m *machine) addToPool(id ingredient.ID) {
 	m.poolByCategory[c] = append(m.poolByCategory[c], id)
 }
 
-// sampleRecipe draws min(s̄, |from|) distinct ingredients uniformly from
-// the given slice.
-func (m *machine) sampleRecipe(from []ingredient.ID) []ingredient.ID {
+// sampleRecipeInto draws min(s̄, |from|) distinct ingredients uniformly
+// from the given slice and commits them as a new recipe at the arena
+// tip.
+func (m *machine) sampleRecipeInto(from []ingredient.ID) {
 	size := m.p.MeanRecipeSize
 	if size > len(from) {
 		size = len(from)
 	}
-	picks := m.src.SampleInts(len(from), size)
-	out := make([]ingredient.ID, size)
-	for i, p := range picks {
-		out[i] = from[p]
+	picks := m.src.SampleIntsBuf(len(from), size, &m.sample)
+	off := int32(len(m.arena))
+	for _, p := range picks {
+		m.arena = append(m.arena, from[p])
 	}
-	return out
+	m.commitRecipe(off)
 }
 
 // evolve runs the main loop of Algorithm 1.
@@ -338,7 +437,7 @@ func (m *machine) evolve() {
 		return
 	}
 	// Prose variant (default): evolve until the recipe pool reaches N.
-	for len(m.recipes) < m.p.TargetRecipes {
+	for len(m.recs) < m.p.TargetRecipes {
 		m.step()
 	}
 }
@@ -346,7 +445,7 @@ func (m *machine) evolve() {
 // step performs one iteration: grow the ingredient pool if ∂ = m/n has
 // fallen below φ (and ingredients remain), otherwise add one recipe.
 func (m *machine) step() {
-	partial := float64(len(m.pool)) / float64(len(m.recipes))
+	partial := float64(len(m.pool)) / float64(len(m.recs))
 	if partial < m.p.Phi && len(m.reserve) > 0 {
 		// Pool growth: move a random ingredient from I to I₀.
 		i := m.src.Intn(len(m.reserve))
@@ -361,27 +460,34 @@ func (m *machine) step() {
 		if m.p.NullFromFullLexicon {
 			from = m.p.Ingredients
 		}
-		m.addRecipe(m.sampleRecipe(from))
+		m.sampleRecipeInto(from)
 	case FitnessOnly, PreferentialAttachment:
-		m.addRecipe(m.generateAlternative(m.usage))
+		m.generateAlternativeInto()
 	default:
-		m.addRecipe(m.copyMutate())
+		m.copyMutate()
 	}
 }
 
-// copyMutate copies a random mother recipe and applies M fitness-biased
-// mutation attempts (Algorithm 1, steps 3-4). The ancestral Kinouchi
-// variant replaces the least-fit ingredient unconditionally instead.
-func (m *machine) copyMutate() []ingredient.ID {
-	motherIdx := m.src.Intn(len(m.recipes))
-	mother := m.recipes[motherIdx]
+// copyMutate copies a random mother recipe to the arena tip and applies
+// M fitness-biased mutation attempts in place (Algorithm 1, steps 3-4).
+// The ancestral Kinouchi variant replaces the least-fit ingredient
+// unconditionally instead.
+func (m *machine) copyMutate() {
+	motherIdx := m.src.Intn(len(m.recs))
 	m.lastMother = int32(motherIdx)
-	r := append([]ingredient.ID(nil), mother...)
+	h := m.recs[motherIdx]
+	off := int32(len(m.arena))
+	// Appending a slice of m.arena to itself is safe: on reallocation
+	// the copy reads from the old backing array, otherwise source and
+	// destination regions are disjoint.
+	m.arena = append(m.arena, m.arena[h.off:h.off+h.n]...)
+	r := m.arena[off:]
 	if m.p.Kind == KinouchiOriginal {
 		for g := 0; g < m.p.Mutations; g++ {
 			m.kinouchiMutate(r)
 		}
-		return r
+		m.commitRecipe(off)
+		return
 	}
 	for g := 0; g < m.p.Mutations; g++ {
 		slot := m.src.Intn(len(r))
@@ -408,10 +514,13 @@ func (m *machine) copyMutate() []ingredient.ID {
 		}
 		r[slot] = repl
 	}
+	// Drop the slots a multiset collapse vacated so the arena stays
+	// packed (the recipe is the arena tip, so truncation is exact).
+	m.arena = m.arena[:int(off)+len(r)]
 	if m.p.InsertProb > 0 || m.p.DeleteProb > 0 {
-		r = m.mutateSize(r)
+		m.mutateSizeTip(off)
 	}
-	return r
+	m.commitRecipe(off)
 }
 
 // drawReplacement selects the candidate ingredient j from the pool
@@ -444,15 +553,74 @@ func contains(xs []ingredient.ID, id ingredient.ID) bool {
 	return false
 }
 
-// transactions returns the recipe pool with each recipe sorted ascending.
-func (m *machine) transactions() [][]ingredient.ID {
-	out := make([][]ingredient.ID, len(m.recipes))
-	for i, r := range m.recipes {
-		tx := append([]ingredient.ID(nil), r...)
+// cloneTransactions returns the recipe pool as caller-owned packed
+// transactions: one fresh flat array shared by every recipe plus one
+// header slice, each recipe sorted ascending — two allocations total
+// instead of one per recipe.
+func (m *machine) cloneTransactions() [][]ingredient.ID {
+	flat := make([]ingredient.ID, len(m.arena))
+	copy(flat, m.arena)
+	out := make([][]ingredient.ID, len(m.recs))
+	for i, h := range m.recs {
+		tx := flat[h.off : h.off+h.n : h.off+h.n]
 		sortIDs(tx)
 		out[i] = tx
 	}
 	return out
+}
+
+// emitTransactions writes the recipe pool, each recipe sorted
+// ascending, into the machine-owned emission buffers and returns the
+// headers — the zero-copy handoff the replicate pipeline feeds straight
+// into itemset.Mine. The result is valid until the machine is reset or
+// released; callers that outlive the machine use cloneTransactions.
+func (m *machine) emitTransactions() [][]ingredient.ID {
+	m.txArena = append(m.txArena[:0], m.arena...)
+	out := m.emitHeaders(len(m.recs))
+	for i, h := range m.recs {
+		tx := m.txArena[h.off : h.off+h.n : h.off+h.n]
+		sortIDs(tx)
+		out[i] = tx
+	}
+	return out
+}
+
+// emitCategoryTransactions is emitTransactions for the §VI control
+// analyses: each recipe becomes its sorted distinct category set (as
+// ingredient.ID-compatible ints), emitted directly from the arena
+// without materializing the ingredient transactions first.
+func (m *machine) emitCategoryTransactions() [][]ingredient.ID {
+	// Presize so appends never reallocate mid-emission (earlier headers
+	// alias the buffer): a recipe's category set is never larger than
+	// the recipe itself, so the arena length bounds the total.
+	if cap(m.txArena) < len(m.arena) {
+		m.txArena = make([]ingredient.ID, 0, len(m.arena))
+	} else {
+		m.txArena = m.txArena[:0]
+	}
+	out := m.emitHeaders(len(m.recs))
+	for i, h := range m.recs {
+		var present [ingredient.NumCategories]bool
+		for _, id := range m.arena[h.off : h.off+h.n] {
+			present[m.lex.CategoryOf(id)] = true
+		}
+		off := len(m.txArena)
+		for c, ok := range present {
+			if ok {
+				m.txArena = append(m.txArena, ingredient.ID(c))
+			}
+		}
+		out[i] = m.txArena[off:len(m.txArena):len(m.txArena)]
+	}
+	return out
+}
+
+// emitHeaders returns the reusable header slice sized to n.
+func (m *machine) emitHeaders(n int) [][]ingredient.ID {
+	if cap(m.txHeads) < n {
+		m.txHeads = make([][]ingredient.ID, n)
+	}
+	return m.txHeads[:n]
 }
 
 func sortIDs(xs []ingredient.ID) {
@@ -479,12 +647,12 @@ func Inspect(params Params, lex *ingredient.Lexicon) ([][]ingredient.ID, PoolSta
 	if err := p.validate(); err != nil {
 		return nil, PoolState{}, err
 	}
-	src := randx.New(p.Seed)
-	m := newMachine(p, lex, src)
+	m := acquireMachine(p, lex, randx.New(p.Seed))
+	defer releaseMachine(m)
 	m.evolve()
-	return m.transactions(), PoolState{
+	return m.cloneTransactions(), PoolState{
 		IngredientPool: len(m.pool),
-		RecipePool:     len(m.recipes),
+		RecipePool:     len(m.recs),
 		ReserveLeft:    len(m.reserve),
 	}, nil
 }

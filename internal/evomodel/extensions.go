@@ -65,20 +65,39 @@ func (m *machine) kinouchiMutate(r []ingredient.ID) {
 	r[worst] = repl
 }
 
-// sampleRecipeWeighted draws min(s̄, |from|) distinct ingredients from
-// the given slice with probability proportional to weight(id).
-func (m *machine) sampleRecipeWeighted(from []ingredient.ID, weight func(ingredient.ID) float64) []ingredient.ID {
+// altWeight is the sampling weight of the alternative-hypothesis models:
+// raw fitness for FitnessOnly, 1 + usage count for PreferentialAttachment.
+func (m *machine) altWeight(id ingredient.ID) float64 {
+	if m.p.Kind == FitnessOnly {
+		return m.fitness[id]
+	}
+	return float64(1 + m.usage[id])
+}
+
+// generateAlternativeInto produces one recipe under the alternative
+// hypotheses directly at the arena tip: min(s̄, |pool|) distinct
+// ingredients drawn with probability proportional to altWeight, via the
+// same renormalizing scan (and therefore the same RNG draws) as the
+// reference implementation's sampleRecipeWeighted — the taken set is a
+// reusable dense []bool instead of a per-recipe map.
+func (m *machine) generateAlternativeInto() {
+	from := m.pool
 	size := m.p.MeanRecipeSize
 	if size > len(from) {
 		size = len(from)
 	}
-	out := make([]ingredient.ID, 0, size)
-	taken := make(map[int]bool, size)
-	for len(out) < size {
+	if cap(m.taken) < len(from) {
+		m.taken = make([]bool, len(from))
+	}
+	taken := m.taken[:len(from)]
+	clear(taken)
+	off := int32(len(m.arena))
+	count := 0
+	for count < size {
 		total := 0.0
 		for i, id := range from {
 			if !taken[i] {
-				total += weight(id)
+				total += m.altWeight(id)
 			}
 		}
 		if total <= 0 {
@@ -86,7 +105,8 @@ func (m *machine) sampleRecipeWeighted(from []ingredient.ID, weight func(ingredi
 			for i, id := range from {
 				if !taken[i] {
 					taken[i] = true
-					out = append(out, id)
+					m.arena = append(m.arena, id)
+					count++
 					break
 				}
 			}
@@ -97,52 +117,36 @@ func (m *machine) sampleRecipeWeighted(from []ingredient.ID, weight func(ingredi
 			if taken[i] {
 				continue
 			}
-			target -= weight(id)
+			target -= m.altWeight(id)
 			if target <= 0 {
 				taken[i] = true
-				out = append(out, id)
+				m.arena = append(m.arena, id)
+				count++
 				break
 			}
 		}
 	}
-	return out
+	m.commitRecipe(off)
 }
 
-// generateAlternative produces one recipe under the alternative
-// hypotheses. usage is the running per-ingredient recipe count, indexed
-// by ingredient ID.
-func (m *machine) generateAlternative(usage []int) []ingredient.ID {
-	switch m.p.Kind {
-	case FitnessOnly:
-		return m.sampleRecipeWeighted(m.pool, func(id ingredient.ID) float64 {
-			return m.fitness[id]
-		})
-	case PreferentialAttachment:
-		return m.sampleRecipeWeighted(m.pool, func(id ingredient.ID) float64 {
-			return float64(1 + usage[id])
-		})
-	default:
-		panic("evomodel: generateAlternative called for non-alternative kind")
-	}
-}
-
-// mutateSize applies one insert-or-delete size mutation to the recipe
-// when the variable-size extension is enabled, returning the (possibly
-// reallocated) recipe. Insertions are fitness-biased like replacements:
-// the candidate joins only if its fitness exceeds that of a random
+// mutateSizeTip applies one insert-or-delete size mutation to the recipe
+// occupying the arena tip (from off) when the variable-size extension is
+// enabled. Insertions are fitness-biased like replacements: the
+// candidate joins only if its fitness exceeds that of a random
 // incumbent. Sizes stay within the empirical [MinRecipeSize,
 // MaxRecipeSize] bounds of Fig 1.
-func (m *machine) mutateSize(r []ingredient.ID) []ingredient.ID {
+func (m *machine) mutateSizeTip(off int32) {
+	r := m.arena[off:]
 	roll := m.src.Float64()
 	switch {
 	case roll < m.p.InsertProb && len(r) < cuisine.MaxRecipeSize:
 		j := m.pool[m.src.Intn(len(m.pool))]
 		if contains(r, j) {
-			return r
+			return
 		}
 		incumbent := r[m.src.Intn(len(r))]
 		if m.fitness[j] > m.fitness[incumbent] {
-			r = append(r, j)
+			m.arena = append(m.arena, j)
 		}
 	case roll < m.p.InsertProb+m.p.DeleteProb && len(r) > cuisine.MinRecipeSize:
 		// Deletion pressure removes the least fit of two random picks,
@@ -153,7 +157,6 @@ func (m *machine) mutateSize(r []ingredient.ID) []ingredient.ID {
 			victim = b
 		}
 		r[victim] = r[len(r)-1]
-		r = r[:len(r)-1]
+		m.arena = m.arena[:len(m.arena)-1]
 	}
-	return r
 }

@@ -82,7 +82,13 @@ func RunHorizontal(cfg HorizontalConfig, lex *ingredient.Lexicon) (map[string][]
 			return nil, fmt.Errorf("evomodel: region %s: %w", label, err)
 		}
 		src := root.Split()
-		m := newMachine(p, lex, src)
+		// Horizontal machines are not pooled (they alias the shared
+		// fitness slice and live for the whole coupled run), so each is
+		// built fresh and reset once. reset draws this region's own
+		// fitness from src first — those draws are part of the pinned RNG
+		// stream — and the override replaces the values afterwards.
+		m := new(machine)
+		m.reset(p, lex, src)
 		m.fitness = sharedFitness
 		machines = append(machines, m)
 	}
@@ -91,12 +97,12 @@ func RunHorizontal(cfg HorizontalConfig, lex *ingredient.Lexicon) (map[string][]
 	// fraction of work (deterministic; keeps pools co-evolving rather
 	// than sequential).
 	remaining := func(m *machine) float64 {
-		return 1 - float64(len(m.recipes))/float64(m.p.TargetRecipes)
+		return 1 - float64(len(m.recs))/float64(m.p.TargetRecipes)
 	}
 	for {
 		var next *machine
 		for _, m := range machines {
-			if len(m.recipes) >= m.p.TargetRecipes {
+			if len(m.recs) >= m.p.TargetRecipes {
 				continue
 			}
 			if next == nil || remaining(m) > remaining(next) {
@@ -111,7 +117,7 @@ func RunHorizontal(cfg HorizontalConfig, lex *ingredient.Lexicon) (map[string][]
 
 	out := make(map[string][][]ingredient.ID, len(labels))
 	for i, label := range labels {
-		out[label] = machines[i].transactions()
+		out[label] = machines[i].cloneTransactions()
 	}
 	return out, nil
 }
@@ -119,7 +125,7 @@ func RunHorizontal(cfg HorizontalConfig, lex *ingredient.Lexicon) (map[string][]
 // stepHorizontal performs one iteration for machine m, possibly copying
 // a mother recipe from another region.
 func stepHorizontal(m *machine, all []*machine, migration float64, root *randx.Source) {
-	partial := float64(len(m.pool)) / float64(len(m.recipes))
+	partial := float64(len(m.pool)) / float64(len(m.recs))
 	if partial < m.p.Phi && len(m.reserve) > 0 {
 		i := m.src.Intn(len(m.reserve))
 		m.addToPool(m.reserve[i])
@@ -127,16 +133,22 @@ func stepHorizontal(m *machine, all []*machine, migration float64, root *randx.S
 		m.reserve = m.reserve[:len(m.reserve)-1]
 		return
 	}
-	mother := m.recipes[m.src.Intn(len(m.recipes))]
+	mother := m.recipeAt(m.src.Intn(len(m.recs)))
 	if len(all) > 1 && m.src.Float64() < migration {
 		// Draw the mother from a uniformly random other region.
 		other := m
 		for other == m {
 			other = all[root.Intn(len(all))]
 		}
-		mother = other.recipes[m.src.Intn(len(other.recipes))]
+		mother = other.recipeAt(m.src.Intn(len(other.recs)))
 	}
-	r := append([]ingredient.ID(nil), mother...)
+	// Copy the mother to this machine's arena tip and mutate in place.
+	// In the local case this appends a slice of m.arena to itself, which
+	// is safe; in the migration case the source is another machine's
+	// arena entirely.
+	off := int32(len(m.arena))
+	m.arena = append(m.arena, mother...)
+	r := m.arena[off:]
 	for g := 0; g < m.p.Mutations; g++ {
 		slot := m.src.Intn(len(r))
 		old := r[slot]
@@ -155,5 +167,5 @@ func stepHorizontal(m *machine, all []*machine, migration float64, root *randx.S
 		}
 		r[slot] = repl
 	}
-	m.addRecipe(r)
+	m.commitRecipe(off)
 }

@@ -1,0 +1,251 @@
+package evomodel
+
+// Differential tests pinning the arena kernel byte-for-byte against the
+// retained reference implementation (reference.go) on randomized
+// parameters — the same cross-kernel proof pattern the itemset package
+// uses for FP-Growth vs Eclat. Because consecutive Run calls on one
+// goroutine recycle the same pooled machine, every iteration of these
+// loops also exercises reset-after-reuse across differing parameter
+// shapes; any state leaking between runs shows up as a divergence from
+// the freshly constructed reference machine.
+
+import (
+	"reflect"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/itemset"
+	"cuisinevol/internal/randx"
+	"cuisinevol/internal/rankfreq"
+)
+
+// allKinds is every model variant, paper and extended.
+func allKinds() []Kind { return append(Kinds(), ExtendedKinds()...) }
+
+// randomDiffParams draws a randomized-but-valid parameter set covering
+// the full option surface: fixed vs prose iteration, duplicate-replace
+// shrink, null-model sampling source, the MixtureRatio sentinel values,
+// and the variable-size extension.
+func randomDiffParams(src *randx.Source, kind Kind) Params {
+	ids := lex.IDs()
+	nIng := 40 + src.Intn(120)
+	if nIng > len(ids) {
+		nIng = len(ids)
+	}
+	p := Params{
+		Kind:                  kind,
+		Ingredients:           ids[:nIng],
+		MeanRecipeSize:        3 + src.Intn(8),
+		TargetRecipes:         50 + src.Intn(200),
+		InitialPool:           5 + src.Intn(20),
+		Phi:                   0.1 + src.Float64()*0.5,
+		Seed:                  src.Uint64(),
+		FixedIterations:       src.Float64() < 0.3,
+		AllowDuplicateReplace: src.Float64() < 0.5,
+		NullFromFullLexicon:   src.Float64() < 0.5,
+	}
+	switch src.Intn(4) {
+	case 0:
+		p.MixtureRatio = -1 // sentinel: paper default 0.5
+	case 1:
+		p.MixtureRatio = 0 // literal: always-random CM-M
+	case 2:
+		p.MixtureRatio = 0.3
+	case 3:
+		p.MixtureRatio = 1
+	}
+	if src.Float64() < 0.4 {
+		p.InsertProb = src.Float64() * 0.3
+		p.DeleteProb = src.Float64() * 0.3
+	}
+	return p
+}
+
+func TestKernelDifferentialRun(t *testing.T) {
+	src := randx.New(0xD1FF)
+	for _, kind := range allKinds() {
+		for trial := 0; trial < 12; trial++ {
+			p := randomDiffParams(src, kind)
+			got, err := Run(p, lex)
+			if err != nil {
+				t.Fatalf("%v trial %d: arena: %v (params %+v)", kind, trial, err, p)
+			}
+			want, err := referenceRun(p, lex)
+			if err != nil {
+				t.Fatalf("%v trial %d: reference: %v", kind, trial, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v trial %d: arena kernel diverges from reference (params %+v)", kind, trial, p)
+			}
+		}
+	}
+}
+
+func TestKernelDifferentialInspect(t *testing.T) {
+	src := randx.New(0xD1FF + 1)
+	for _, kind := range allKinds() {
+		for trial := 0; trial < 4; trial++ {
+			p := randomDiffParams(src, kind)
+			gotTxs, gotState, err := Inspect(p, lex)
+			if err != nil {
+				t.Fatalf("%v trial %d: arena: %v", kind, trial, err)
+			}
+			wantTxs, wantState, err := referenceInspect(p, lex)
+			if err != nil {
+				t.Fatalf("%v trial %d: reference: %v", kind, trial, err)
+			}
+			if !reflect.DeepEqual(gotTxs, wantTxs) {
+				t.Fatalf("%v trial %d: transactions diverge (params %+v)", kind, trial, p)
+			}
+			if gotState != wantState {
+				t.Fatalf("%v trial %d: pool state %+v, want %+v (params %+v)", kind, trial, gotState, wantState, p)
+			}
+		}
+	}
+}
+
+func TestKernelDifferentialLineage(t *testing.T) {
+	src := randx.New(0xD1FF + 2)
+	for _, kind := range allKinds() {
+		for trial := 0; trial < 6; trial++ {
+			p := randomDiffParams(src, kind)
+			gotTxs, gotLin, err := RunWithLineage(p, lex)
+			if err != nil {
+				t.Fatalf("%v trial %d: arena: %v", kind, trial, err)
+			}
+			wantTxs, wantLin, err := referenceRunWithLineage(p, lex)
+			if err != nil {
+				t.Fatalf("%v trial %d: reference: %v", kind, trial, err)
+			}
+			if !reflect.DeepEqual(gotTxs, wantTxs) {
+				t.Fatalf("%v trial %d: transactions diverge (params %+v)", kind, trial, p)
+			}
+			if gotLin.InitialPool != wantLin.InitialPool {
+				t.Fatalf("%v trial %d: InitialPool %d, want %d", kind, trial, gotLin.InitialPool, wantLin.InitialPool)
+			}
+			if !reflect.DeepEqual(gotLin.Mothers, wantLin.Mothers) {
+				t.Fatalf("%v trial %d: mothers diverge (params %+v)", kind, trial, p)
+			}
+		}
+	}
+}
+
+// referenceEnsemble recomputes runEnsemble's aggregate by composing
+// reference-kernel replicates sequentially — the ground truth for the
+// zero-copy evolve→mine handoff in runReplicate.
+func referenceEnsemble(t *testing.T, cfg EnsembleConfig) rankfreq.Distribution {
+	t.Helper()
+	label := cfg.Label
+	if label == "" {
+		label = cfg.Params.Kind.String()
+	}
+	dists := make([]rankfreq.Distribution, cfg.Replicates)
+	for rep := range dists {
+		p := cfg.Params
+		p.Seed = replicateSeed(p.Seed, rep)
+		txs, err := referenceRun(p, lex)
+		if err != nil {
+			t.Fatalf("reference replicate %d: %v", rep, err)
+		}
+		if cfg.Categories {
+			txs = toCategoryTransactions(txs, lex)
+		}
+		res, err := itemset.Mine(txs, cfg.MinSupport, itemset.MineOptions{Kernel: cfg.Kernel})
+		if err != nil {
+			t.Fatalf("reference replicate %d: %v", rep, err)
+		}
+		dists[rep] = rankfreq.FromResult(label, res)
+	}
+	return rankfreq.Aggregate(dists)
+}
+
+func TestKernelDifferentialEnsemble(t *testing.T) {
+	src := randx.New(0xD1FF + 3)
+	for _, categories := range []bool{false, true} {
+		for _, kind := range []Kind{CMRandom, CMCategory, CMMixture, NullModel, KinouchiOriginal} {
+			cfg := EnsembleConfig{
+				Params:     randomDiffParams(src, kind),
+				Replicates: 6,
+				MinSupport: 0.05,
+				Categories: categories,
+				Workers:    3,
+			}
+			got, err := RunEnsemble(cfg, lex)
+			if err != nil {
+				t.Fatalf("%v categories=%v: %v", kind, categories, err)
+			}
+			want := referenceEnsemble(t, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v categories=%v: parallel zero-copy ensemble diverges from reference composition", kind, categories)
+			}
+		}
+	}
+}
+
+// TestKernelDifferentialInterleaved hammers pooled-machine reuse: the
+// same goroutine runs wildly differing parameter shapes back-to-back
+// (large then small ingredient sets, lineage on and off, category
+// emission between ingredient emissions) and every single output must
+// still match a fresh reference machine.
+func TestKernelDifferentialInterleaved(t *testing.T) {
+	src := randx.New(0xD1FF + 4)
+	kinds := allKinds()
+	for trial := 0; trial < 40; trial++ {
+		kind := kinds[src.Intn(len(kinds))]
+		p := randomDiffParams(src, kind)
+		switch trial % 3 {
+		case 0:
+			got, err := Run(p, lex)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			want, _ := referenceRun(p, lex)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (%v): Run diverges after reuse (params %+v)", trial, kind, p)
+			}
+		case 1:
+			got, gotLin, err := RunWithLineage(p, lex)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			want, wantLin, _ := referenceRunWithLineage(p, lex)
+			if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(gotLin.Mothers, wantLin.Mothers) {
+				t.Fatalf("trial %d (%v): RunWithLineage diverges after reuse (params %+v)", trial, kind, p)
+			}
+		case 2:
+			cfg := EnsembleConfig{Params: p, Replicates: 2, MinSupport: 0.05, Categories: trial%2 == 0, Workers: 1}
+			got, err := RunEnsemble(cfg, lex)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			want := referenceEnsemble(t, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (%v): ensemble diverges after reuse", trial, kind)
+			}
+		}
+	}
+}
+
+// TestEmittedTransactionsIndependent guards the contract difference
+// between the public and internal emission paths: Run's result must stay
+// valid after unrelated runs recycle the machine that produced it.
+func TestEmittedTransactionsIndependent(t *testing.T) {
+	p := testParams(CMRandom, 99)
+	got, err := Run(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([][]ingredient.ID, len(got))
+	for i, tx := range got {
+		snapshot[i] = append([]ingredient.ID(nil), tx...)
+	}
+	// Churn the machine pool with different shapes.
+	for s := uint64(0); s < 4; s++ {
+		if _, err := Run(testParams(CMCategory, s), lex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(got, snapshot) {
+		t.Fatal("Run output mutated by subsequent pooled runs")
+	}
+}

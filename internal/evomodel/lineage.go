@@ -97,14 +97,17 @@ func RunWithLineage(params Params, lex *ingredient.Lexicon) ([][]ingredient.ID, 
 	if err := p.validate(); err != nil {
 		return nil, nil, err
 	}
-	src := randx.New(p.Seed)
-	m := newMachine(p, lex, src)
-	m.lineage = &Lineage{InitialPool: len(m.recipes)}
-	m.lineage.Mothers = make([]int32, len(m.recipes))
-	for i := range m.lineage.Mothers {
-		m.lineage.Mothers[i] = -1
+	m := acquireMachine(p, lex, randx.New(p.Seed))
+	defer releaseMachine(m)
+	// The lineage outlives the pooled machine, so it is allocated per
+	// call (releaseMachine nils the machine's pointer to it).
+	lin := &Lineage{InitialPool: len(m.recs)}
+	lin.Mothers = make([]int32, len(m.recs), p.TargetRecipes)
+	for i := range lin.Mothers {
+		lin.Mothers[i] = -1
 	}
+	m.lineage = lin
 	m.lastMother = -1 // non-copy steps (pool growth, NM) have no mother
 	m.evolve()
-	return m.transactions(), m.lineage, nil
+	return m.cloneTransactions(), lin, nil
 }

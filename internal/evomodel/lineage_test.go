@@ -130,3 +130,58 @@ func TestLineageYuleConcentration(t *testing.T) {
 		t.Fatalf("max depth %d implausibly shallow", lin.MaxDepth())
 	}
 }
+
+// TestLineageMothersWellFormedUnderArena: with recipes living in the
+// shared arena rather than owning their slices, every recorded mother
+// must still be a valid, earlier recipe index — including under the
+// arena-truncation paths (duplicate-replace shrink, variable sizes).
+func TestLineageMothersWellFormedUnderArena(t *testing.T) {
+	for _, kind := range []Kind{CMRandom, CMCategory, CMMixture, KinouchiOriginal} {
+		p := testParams(kind, 57)
+		p.AllowDuplicateReplace = true
+		p.InsertProb, p.DeleteProb = 0.2, 0.2
+		txs, lin, err := RunWithLineage(p, lex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lin.Mothers) != len(txs) {
+			t.Fatalf("%v: %d mothers for %d recipes", kind, len(lin.Mothers), len(txs))
+		}
+		for i, m := range lin.Mothers {
+			if i < lin.InitialPool && m != -1 {
+				t.Fatalf("%v: founder %d has mother %d", kind, i, m)
+			}
+			if m >= int32(i) {
+				t.Fatalf("%v: recipe %d claims mother %d from its own future", kind, i, m)
+			}
+		}
+	}
+}
+
+// TestLineageStableAcrossPooledReuse: the genealogy must not change when
+// the machine that records it is a pool veteran carrying buffers from
+// unrelated runs.
+func TestLineageStableAcrossPooledReuse(t *testing.T) {
+	p := testParams(CMMixture, 58)
+	_, fresh, err := RunWithLineage(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the pooled machines with differently shaped runs, with and
+	// without lineage.
+	for s := uint64(0); s < 3; s++ {
+		if _, err := Run(testParams(NullModel, s), lex); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := RunWithLineage(testParams(CMRandom, s), lex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, reused, err := RunWithLineage(p, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Mothers, reused.Mothers) || fresh.InitialPool != reused.InitialPool {
+		t.Fatal("lineage differs after machine pool reuse")
+	}
+}

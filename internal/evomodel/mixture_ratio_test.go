@@ -1,0 +1,76 @@
+package evomodel
+
+// Regression tests for the MixtureRatio sentinel. validate() used to
+// coerce MixtureRatio == 0 to 0.5, so an always-random CM-M (every
+// replacement drawn pool-wide) was unrepresentable: ratio 0 silently ran
+// the paper default. The sentinel is now negative-means-default and 0 is
+// honored literally.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMixtureRatioZeroIsLiteral(t *testing.T) {
+	zero := testParams(CMMixture, 21)
+	zero.MixtureRatio = 0
+	half := testParams(CMMixture, 21)
+	half.MixtureRatio = 0.5
+
+	a, err := Run(zero, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(half, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the fix, ratio 0 was coerced to 0.5 and these runs were
+	// byte-identical.
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("MixtureRatio=0 behaved like the 0.5 default; always-random CM-M is still unrepresentable")
+	}
+
+	v := zero
+	if err := v.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.MixtureRatio != 0 {
+		t.Fatalf("validate rewrote MixtureRatio=0 to %v", v.MixtureRatio)
+	}
+}
+
+func TestMixtureRatioNegativeSelectsDefault(t *testing.T) {
+	sentinel := testParams(CMMixture, 22)
+	sentinel.MixtureRatio = -1
+	half := testParams(CMMixture, 22)
+	half.MixtureRatio = 0.5
+
+	a, err := Run(sentinel, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(half, lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("negative MixtureRatio sentinel did not select the 0.5 default")
+	}
+
+	v := sentinel
+	if err := v.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.MixtureRatio != 0.5 {
+		t.Fatalf("validate resolved sentinel to %v, want 0.5", v.MixtureRatio)
+	}
+}
+
+func TestMixtureRatioAboveOneRejected(t *testing.T) {
+	p := testParams(CMMixture, 23)
+	p.MixtureRatio = 1.01
+	if _, err := Run(p, lex); err == nil {
+		t.Fatal("MixtureRatio > 1 accepted")
+	}
+}

@@ -192,6 +192,65 @@ func (s *Source) SampleInts(n, k int) []int {
 	return p[:k]
 }
 
+// SampleBuf holds the reusable scratch behind SampleIntsBuf. The zero
+// value is ready to use; buffers grow on demand and are retained across
+// calls.
+type SampleBuf struct {
+	out  []int
+	perm []int
+}
+
+// SampleIntsBuf is SampleInts drawing the identical random stream but
+// writing into buf's reusable storage, so steady-state callers (the
+// evolution-model kernel drawing one recipe per iteration) sample
+// without allocating. The returned slice aliases buf and is valid only
+// until the next call with the same buf.
+//
+// Stream identity with SampleInts is load-bearing: the simulation
+// kernels are pinned byte-for-byte against reference implementations
+// that call SampleInts, so both methods must consume the same draws in
+// the same order for every (n, k).
+func (s *Source) SampleIntsBuf(n, k int, buf *SampleBuf) []int {
+	if k < 0 || k > n {
+		panic("randx: SampleIntsBuf called with k < 0 or k > n")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*4 <= n {
+		// Floyd's algorithm. The chosen set is exactly the elements of
+		// out, so membership is a linear scan instead of a map; k is
+		// small (recipe-sized) by the branch condition.
+		out := buf.out[:0]
+		for j := n - k; j < n; j++ {
+			t := s.Intn(j + 1)
+			for _, x := range out {
+				if x == t {
+					t = j
+					break
+				}
+			}
+			out = append(out, t)
+		}
+		s.ShuffleInts(out)
+		buf.out = out
+		return out
+	}
+	if cap(buf.perm) < n {
+		buf.perm = make([]int, n)
+	}
+	p := buf.perm[:n]
+	for i := range p {
+		p[i] = i
+	}
+	// Partial Fisher-Yates: only the first k positions need to be fixed.
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k]
+}
+
 // Choice returns a uniformly chosen element of xs. It panics on an empty
 // slice.
 func Choice[T any](s *Source, xs []T) T {

@@ -450,3 +450,72 @@ func BenchmarkDrawDistinct9of721(b *testing.B) {
 		_ = ws.DrawDistinct(s, 9)
 	}
 }
+
+// TestSampleIntsBufMatchesSampleInts pins the stream identity between
+// the allocating and buffer-reusing samplers: for every (n, k) both
+// must return the same values AND leave the generator in the same
+// state, because the evolution-model kernels are differential-tested
+// byte-for-byte against reference implementations using SampleInts.
+func TestSampleIntsBufMatchesSampleInts(t *testing.T) {
+	var buf SampleBuf
+	for seed := uint64(0); seed < 20; seed++ {
+		a, b := New(seed), New(seed)
+		for trial := 0; trial < 50; trial++ {
+			n := a.Intn(200) + 1
+			if m := b.Intn(200) + 1; m != n {
+				t.Fatal("generators out of sync")
+			}
+			k := a.Intn(n + 1)
+			if j := b.Intn(n + 1); j != k {
+				t.Fatal("generators out of sync")
+			}
+			want := a.SampleInts(n, k)
+			got := b.SampleIntsBuf(n, k, &buf)
+			if len(want) != len(got) {
+				t.Fatalf("n=%d k=%d: len %d vs %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("n=%d k=%d: got %v, want %v", n, k, got, want)
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("n=%d k=%d: generator states diverged", n, k)
+			}
+		}
+	}
+}
+
+// TestSampleIntsBufReusesStorage checks that successive calls do not
+// allocate once the buffers are warm.
+func TestSampleIntsBufReusesStorage(t *testing.T) {
+	s := New(3)
+	var buf SampleBuf
+	s.SampleIntsBuf(100, 8, &buf)  // Floyd path, warms out
+	s.SampleIntsBuf(100, 90, &buf) // partial-FY path, warms perm
+	allocs := testing.AllocsPerRun(100, func() {
+		s.SampleIntsBuf(100, 8, &buf)
+		s.SampleIntsBuf(100, 90, &buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SampleIntsBuf allocates %v per run", allocs)
+	}
+}
+
+func TestSampleIntsBufPanics(t *testing.T) {
+	s := New(5)
+	var buf SampleBuf
+	for _, bad := range [][2]int{{5, -1}, {5, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SampleIntsBuf(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			s.SampleIntsBuf(bad[0], bad[1], &buf)
+		}()
+	}
+	if out := s.SampleIntsBuf(9, 0, &buf); out != nil {
+		t.Fatalf("k=0 returned %v", out)
+	}
+}
