@@ -14,14 +14,17 @@ GO ?= go
 FUZZTIME ?= 30s
 
 # The perf-trajectory benchmarks: the FP-Growth and Eclat mining kernels,
-# the Fig 3/4 pipelines they feed, and the arena simulation kernel behind
-# them (see ISSUE/DESIGN "Performance architecture").
-BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4|EvolveRun|EnsembleReplicates
+# the Fig 3/4 pipelines they feed, the arena simulation kernel behind
+# them, and the build-once corpus index (build cost, warm-index queries,
+# and the cold-mine point they beat) — see ISSUE/DESIGN "Performance
+# architecture" and DESIGN.md §12.
+BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4|EvolveRun|EnsembleReplicates|IndexBuild|MineWarmIndex|MineColdSecondPoint
 
 # The simulation benchmarks whose allocs/op are hard-gated in CI:
 # allocation counts are deterministic, so this subset can fail the build
-# even on noisy shared runners.
-ALLOC_GATE_PATTERN := EvolveRun|EnsembleReplicates|Fig4
+# even on noisy shared runners. MineWarmIndex rides along to keep the
+# pooled warm-query path allocation-flat.
+ALLOC_GATE_PATTERN := EvolveRun|EnsembleReplicates|Fig4|MineWarmIndex
 
 .PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline benchgate benchgate-allocs
 

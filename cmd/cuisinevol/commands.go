@@ -219,7 +219,14 @@ func cmdMine(args []string) error {
 	if *categories {
 		txs = view.CategoryTransactions()
 	}
-	res, err := itemset.Mine(txs, *support, itemset.MineOptions{Kernel: kernel})
+	// Build the view's index once, then mine it: the one-off CLI path
+	// exercises the same build+query split the server and pipelines use,
+	// and the auto kernel choice reads the index's true stats.
+	ix, err := itemset.BuildIndex(txs)
+	if err != nil {
+		return err
+	}
+	res, err := itemset.MineIndexed(ix, *support, itemset.MineOptions{Kernel: kernel})
 	if err != nil {
 		return err
 	}
@@ -295,7 +302,11 @@ func cmdEvolve(ctx context.Context, args []string) error {
 	if view.Len() == 0 {
 		return fmt.Errorf("region %q has no recipes", code)
 	}
-	empirical, err := itemset.FPGrowth(view.Transactions(), *support)
+	ix, err := itemset.BuildIndex(view.Transactions())
+	if err != nil {
+		return err
+	}
+	empirical, err := itemset.MineIndexed(ix, *support, itemset.MineOptions{})
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	workers := cf.fs.Int("workers", 0, "parallel workers per computation (0 = GOMAXPROCS)")
 	compute := cf.fs.Int("compute", 2, "concurrent pipeline computations (the compute-pool size)")
 	cacheMB := cf.fs.Int("cache-mb", 64, "result-cache budget in MiB")
+	indexMB := cf.fs.Int("index-mb", 64, "corpus-index cache budget in MiB")
 	timeout := cf.fs.Duration("timeout", 2*time.Minute, "per-request compute deadline for heavy endpoints (<= 0 disables)")
 	maxQueue := cf.fs.Int("max-queue", 0, "max computations queued for a compute slot before shedding (0 = 4x compute, < 0 = no queue)")
 	drain := cf.fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
@@ -39,6 +40,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		Workers:     *workers,
 		Compute:     *compute,
 		CacheBytes:  int64(*cacheMB) << 20,
+		IndexBytes:  int64(*indexMB) << 20,
 		MaxQueue:    *maxQueue,
 	}
 	if *timeout <= 0 {

@@ -137,6 +137,29 @@ func defaultNormalizer() *textnorm.Normalizer {
 	return normalizer
 }
 
+// sharedIndexes caches prebuilt corpus indexes across all facade calls.
+// Entries are keyed by corpus fingerprint, so mining two different
+// corpora (or the same corpus loaded twice) never aliases; mining the
+// same region of the same corpus twice pays the index build only once.
+var sharedIndexes = itemset.NewIndexCache(64 << 20)
+
+// viewIndex returns the prebuilt index for one corpus view, building
+// and caching it on first use. The key matches the serving layer's and
+// the experiment harness's, so any layer's build serves the others.
+func viewIndex(c *Corpus, region string, categories bool) (*itemset.Index, error) {
+	key := itemset.IndexKey(c.Fingerprint(), region, categories)
+	return sharedIndexes.Get(key, func() ([][]ingredient.ID, error) {
+		view := c.Region(region)
+		if region == "" {
+			view = c.AllView()
+		}
+		if categories {
+			return view.CategoryTransactions(), nil
+		}
+		return view.Transactions(), nil
+	})
+}
+
 // RankedIngredient pairs an ingredient name with its Eq 1 score.
 type RankedIngredient struct {
 	Name  string
@@ -144,10 +167,19 @@ type RankedIngredient struct {
 }
 
 // Overrepresented returns the region's top-k overrepresented ingredients
-// under the paper's Eq 1 metric.
+// under the paper's Eq 1 metric. Document frequencies come off the
+// shared corpus indexes, so repeated calls rescan nothing.
 func Overrepresented(c *Corpus, region string, k int) ([]RankedIngredient, error) {
-	analysis := overrep.New(c)
-	top, err := analysis.TopK(region, k)
+	allIx, err := viewIndex(c, "", false)
+	if err != nil {
+		return nil, err
+	}
+	regionIx, err := viewIndex(c, region, false)
+	if err != nil {
+		return nil, err
+	}
+	analysis := overrep.NewFromIndex(c, allIx)
+	top, err := analysis.TopKFromIndex(region, regionIx, k)
 	if err != nil {
 		return nil, err
 	}
@@ -159,17 +191,28 @@ func Overrepresented(c *Corpus, region string, k int) ([]RankedIngredient, error
 }
 
 // MineCombinations mines the frequent ingredient combinations (size >= 1,
-// support >= minSupport) of a cuisine, per the paper's §IV. The mining
-// kernel is selected adaptively from the corpus shape; see
-// itemset.Mine for explicit kernel control.
+// support >= minSupport) of a cuisine, per the paper's §IV. The view's
+// prebuilt index is cached across calls, so re-mining the same cuisine
+// at another threshold skips straight to the query phase; the mining
+// kernel is selected adaptively from the index's stats. See
+// itemset.Mine and itemset.MineIndexed for explicit kernel control.
 func MineCombinations(c *Corpus, region string, minSupport float64) (*MiningResult, error) {
-	return itemset.Mine(c.Region(region).Transactions(), minSupport, itemset.MineOptions{})
+	ix, err := viewIndex(c, region, false)
+	if err != nil {
+		return nil, err
+	}
+	return itemset.MineIndexed(ix, minSupport, itemset.MineOptions{})
 }
 
 // MineCategoryCombinations mines frequent combinations of ingredient
-// categories (Fig 3b).
+// categories (Fig 3b), through the same shared index cache as
+// MineCombinations.
 func MineCategoryCombinations(c *Corpus, region string, minSupport float64) (*MiningResult, error) {
-	return itemset.Mine(c.Region(region).CategoryTransactions(), minSupport, itemset.MineOptions{})
+	ix, err := viewIndex(c, region, true)
+	if err != nil {
+		return nil, err
+	}
+	return itemset.MineIndexed(ix, minSupport, itemset.MineOptions{})
 }
 
 // RankFrequency converts a mining result into the normalized
@@ -256,11 +299,11 @@ func CompareModels(c *Corpus, region string, opts CompareOptions) (*ModelCompari
 		seed = 1
 	}
 
-	txs := view.Transactions()
-	if opts.Categories {
-		txs = view.CategoryTransactions()
+	ix, err := viewIndex(c, region, opts.Categories)
+	if err != nil {
+		return nil, err
 	}
-	mined, err := itemset.Mine(txs, minSupport, itemset.MineOptions{})
+	mined, err := itemset.MineIndexed(ix, minSupport, itemset.MineOptions{Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -49,6 +49,9 @@ type Config struct {
 
 	// corpus is generated lazily and shared across experiments.
 	corpus *recipe.Corpus
+	// indexes caches prebuilt corpus indexes across experiments (and,
+	// when installed by the server, across requests). Created lazily.
+	indexes *itemset.IndexCache
 }
 
 // DefaultConfig returns the paper's parameters at full scale.
@@ -83,6 +86,26 @@ func (c *Config) Corpus() (*recipe.Corpus, error) {
 // SetCorpus installs a pre-built corpus (e.g. loaded from disk),
 // bypassing synthetic generation.
 func (c *Config) SetCorpus(corpus *recipe.Corpus) { c.corpus = corpus }
+
+// defaultIndexBudget bounds the retained bytes of prebuilt corpus
+// indexes when no shared cache was installed with SetIndexes.
+const defaultIndexBudget = 64 << 20
+
+// Indexes returns the config's corpus-index cache, creating a private
+// one on first use. Pipelines key it with itemset.IndexKey over the
+// corpus fingerprint, so a cache shared via SetIndexes converges with
+// every other layer indexing the same corpus.
+func (c *Config) Indexes() *itemset.IndexCache {
+	if c.indexes == nil {
+		c.indexes = itemset.NewIndexCache(defaultIndexBudget)
+	}
+	return c.indexes
+}
+
+// SetIndexes installs a shared corpus-index cache (e.g. the serving
+// layer's), so pipeline runs reuse indexes built by request handlers
+// and vice versa.
+func (c *Config) SetIndexes(indexes *itemset.IndexCache) { c.indexes = indexes }
 
 // artifact opens an artifact file under OutDir; the caller must close it.
 // It returns (nil, nil) when OutDir is empty (artifacts disabled).

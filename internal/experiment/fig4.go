@@ -142,9 +142,12 @@ func RunFig4Ctx(ctx context.Context, cfg *Config, opts Fig4Options) (*Fig4Result
 		}
 	}
 
-	// Empirical mines, one work item per cuisine.
+	// Empirical mines, one work item per cuisine, through the shared
+	// corpus-index cache.
+	fp := corpus.Fingerprint()
+	indexes := cfg.Indexes()
 	empirical, err := sched.CollectCtx(ctx, cfg.Workers, len(regions), func(r int) (rankfreq.Distribution, error) {
-		return mineView(corpus.Region(regions[r]), minSupport, opts.Categories, cfg.Kernel)
+		return mineView(corpus.Region(regions[r]), fp, indexes, minSupport, opts.Categories, cfg.Kernel)
 	})
 	if err != nil {
 		return nil, err

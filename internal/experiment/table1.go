@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"cuisinevol/internal/cuisine"
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/itemset"
 	"cuisinevol/internal/overrep"
 	"cuisinevol/internal/report"
 )
@@ -35,12 +37,29 @@ type TableIResult struct {
 
 // RunTableI reproduces Table I: per-region recipe counts, unique
 // ingredient counts, and the top-5 overrepresented ingredients (Eq 1).
+// All document frequencies come off the shared corpus indexes — the
+// same entries the serving layer and Fig 3 build — so a Table I run
+// after any mine pays no corpus rescan at all.
 func RunTableI(cfg *Config) (*TableIResult, error) {
 	corpus, err := cfg.Corpus()
 	if err != nil {
 		return nil, err
 	}
-	analysis := overrep.New(corpus)
+	fp := corpus.Fingerprint()
+	indexes := cfg.Indexes()
+	viewIndex := func(region string) (*itemset.Index, error) {
+		return indexes.Get(itemset.IndexKey(fp, region, false), func() ([][]ingredient.ID, error) {
+			if region == "" {
+				return corpus.AllView().Transactions(), nil
+			}
+			return corpus.Region(region).Transactions(), nil
+		})
+	}
+	allIx, err := viewIndex("")
+	if err != nil {
+		return nil, err
+	}
+	analysis := overrep.NewFromIndex(corpus, allIx)
 	res := &TableIResult{}
 	var sumIng int
 	for _, region := range cuisine.All() {
@@ -48,8 +67,12 @@ func RunTableI(cfg *Config) (*TableIResult, error) {
 		if view.Len() == 0 {
 			return nil, fmt.Errorf("experiment: region %s missing from corpus", region.Code)
 		}
+		regionIx, err := viewIndex(region.Code)
+		if err != nil {
+			return nil, err
+		}
 		k := len(region.Overrepresented)
-		top, err := analysis.TopKNames(region.Code, k)
+		top, err := analysis.TopKNamesFromIndex(region.Code, regionIx, k)
 		if err != nil {
 			return nil, err
 		}
@@ -63,18 +86,17 @@ func RunTableI(cfg *Config) (*TableIResult, error) {
 				matches++
 			}
 		}
-		stats := view.Stats()
 		res.Rows = append(res.Rows, TableIRow{
 			Code:               region.Code,
 			Name:               region.Name,
-			Recipes:            stats.Recipes,
-			UniqueIngredients:  stats.UniqueIngredients,
+			Recipes:            regionIx.N(),
+			UniqueIngredients:  regionIx.DistinctItems(),
 			TopOverrepresented: top,
 			PaperTop:           region.Overrepresented,
 			Matches:            matches,
 		})
-		res.TotalRecipes += stats.Recipes
-		sumIng += stats.UniqueIngredients
+		res.TotalRecipes += regionIx.N()
+		sumIng += regionIx.DistinctItems()
 	}
 	res.AvgRecipes = float64(res.TotalRecipes) / float64(len(res.Rows))
 	res.AvgIngredients = float64(sumIng) / float64(len(res.Rows))

@@ -142,3 +142,60 @@ func BenchmarkMineAutoReplicatePool(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMineIndexBuild prices the one-time cost the warm path amortizes:
+// a full BuildIndex — validation, counting, fingerprint, dedup, and the
+// all-items bitmap layout — over the replicate-pool corpus.
+func BenchmarkMineIndexBuild(b *testing.B) {
+	txs := replicatePool(7, 30, 3000, 9, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(txs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineWarmIndex is the steady-state serving path: the index is
+// prebuilt (one build shared across every parameter point) and each
+// iteration is a pure query at a second threshold — no counting pass,
+// no dedup, no bitmap build. Paired with BenchmarkMineColdSecondPoint
+// below; the benchgate enforces this stays a multiple faster.
+func BenchmarkMineWarmIndex(b *testing.B) {
+	txs := replicatePool(7, 30, 3000, 9, 300)
+	ix, err := BuildIndex(txs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warm-up query heats the scratch pools so a 1-iteration alloc
+	// gate measures the steady state (same pattern as EvolveRun).
+	if _, err := MineIndexed(ix, 0.1, MineOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineIndexed(ix, 0.1, MineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineColdSecondPoint is the pre-index behaviour at the same
+// second parameter point: every mine rebuilds dedup and bitmaps from
+// the raw transactions, which is exactly what the result cache could
+// never help with across thresholds.
+func BenchmarkMineColdSecondPoint(b *testing.B) {
+	txs := replicatePool(7, 30, 3000, 9, 300)
+	if _, err := Mine(txs, 0.1, MineOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(txs, 0.1, MineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

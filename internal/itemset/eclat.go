@@ -44,21 +44,24 @@ func eclatMine(txs [][]ingredient.ID, minSupport float64, workers int) (*Result,
 var eclatPool = sync.Pool{New: func() any { return newEclatMiner() }}
 
 // eclatShared is the read-only mining state the expansion workers
-// consume: built once per mine by the eclatMiner, then shared across
-// the top-level prefix partitions (safely — nothing here is written
-// after construction).
+// consume: built once per mine (or borrowed from a prebuilt Index),
+// then shared across the top-level prefix partitions (safely — nothing
+// here is written after construction). Bitmaps are reached through one
+// slice-header indirection per frequent item, so the raw path's
+// contiguous arena and the indexed path's zero-copy views into Index
+// memory run the same expansion code.
 type eclatShared struct {
 	freq     []itemCount // frequent items, ascending count then ID
 	words    int         // bitmap length in uint64 words
 	weighted bool        // any unique transaction with weight > 1
 	weights  []int32     // per unique-transaction multiplicity
-	bitmaps  []uint64    // item j occupies [j*words : (j+1)*words]
+	refs     [][]uint64  // per frequent item: its tidset bitmap
 	mc       int
 }
 
 // bitmap returns frequent item j's tidset bitmap.
 func (sh *eclatShared) bitmap(j int) []uint64 {
-	return sh.bitmaps[j*sh.words : (j+1)*sh.words]
+	return sh.refs[j]
 }
 
 // intersectCount writes a AND b into dst and returns the supported
@@ -236,6 +239,10 @@ type eclatMiner struct {
 	txArena []int32
 	txOff   []int32
 
+	// bitmapArena backs shared.refs on the raw (non-indexed) path; the
+	// indexed path points refs into Index memory instead.
+	bitmapArena []uint64
+
 	shared  eclatShared
 	scratch eclatScratch
 }
@@ -292,11 +299,21 @@ func (m *eclatMiner) mine(txs [][]ingredient.ID, minSupport float64, workers int
 	m.dedupTransactions(txs)
 	m.buildBitmaps()
 
-	// Singletons come straight from the global counts.
-	s := &m.scratch
+	if err := eclatRun(sh, &m.scratch, res, workers); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// eclatRun is the expansion phase shared by the raw and indexed paths:
+// singletons from the frequent-item counts, then every top-level prefix
+// partition, serially or fanned out over the scheduler, leaving
+// res.Sets canonically sorted.
+func eclatRun(sh *eclatShared, s *eclatScratch, res *Result, workers int) error {
 	s.sh = sh
 	s.sets = s.sets[:0]
 	s.suffix = s.suffix[:0]
+	// Singletons come straight from the global counts.
 	for _, ic := range sh.freq {
 		s.emitSingleton(ic)
 	}
@@ -320,7 +337,8 @@ func (m *eclatMiner) mine(txs [][]ingredient.ID, minSupport float64, workers int
 			return sets, nil
 		})
 		if err != nil {
-			return nil, err
+			s.sets = nil
+			return err
 		}
 		res.Sets = serialSets
 		for _, p := range parts {
@@ -335,6 +353,78 @@ func (m *eclatMiner) mine(txs [][]ingredient.ID, minSupport float64, workers int
 		s.sets = nil
 	}
 	sortCanonical(res.Sets)
+	return nil
+}
+
+// eclatQuery is the pooled per-query state of indexed mining: the
+// shared view (frequent-item filter + bitmap refs into the Index) and
+// an expansion scratch whose per-depth buffers and emit arena survive
+// across queries, keeping back-to-back indexed mines allocation-flat.
+type eclatQuery struct {
+	shared  eclatShared
+	scratch eclatScratch
+	posBuf  []int32 // frequent item positions, sorted into mining order
+}
+
+var eclatQueryPool = sync.Pool{New: func() any { return &eclatQuery{} }}
+
+// release returns the query state to the pool, dropping every reference
+// into the Index so a pooled query never pins evicted index memory.
+func (q *eclatQuery) release() {
+	sh := &q.shared
+	clear(sh.refs)
+	sh.refs = sh.refs[:0]
+	sh.weights = nil
+	eclatQueryPool.Put(q)
+}
+
+// eclatMineIndexed runs the vertical kernel's query phase over a
+// prebuilt Index: frequent items are filtered from the index's support
+// counts at the requested threshold and their posting bitmaps are used
+// in place — no counting pass, no dedup, no bitmap build, no raw
+// transactions.
+func eclatMineIndexed(ix *Index, minSupport float64, workers int) (*Result, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, ErrBadSupport
+	}
+	res := &Result{N: ix.n}
+	if ix.n == 0 {
+		return res, nil
+	}
+	q := eclatQueryPool.Get().(*eclatQuery)
+	defer q.release()
+	sh := &q.shared
+	sh.mc = minCount(ix.n, minSupport)
+	sh.words = ix.words
+	sh.weighted = ix.weighted
+	sh.weights = ix.weights
+
+	// Frequent item positions in the standard Eclat order (ascending
+	// count, ties by ascending ID — positions ascend with IDs, so the
+	// tie-break is the position itself).
+	q.posBuf = q.posBuf[:0]
+	for p, ic := range ix.items {
+		if ic.count >= sh.mc {
+			q.posBuf = append(q.posBuf, int32(p))
+		}
+	}
+	sort.Slice(q.posBuf, func(i, j int) bool {
+		a, b := q.posBuf[i], q.posBuf[j]
+		if ix.items[a].count != ix.items[b].count {
+			return ix.items[a].count < ix.items[b].count
+		}
+		return a < b
+	})
+	sh.freq = sh.freq[:0]
+	sh.refs = sh.refs[:0]
+	for _, p := range q.posBuf {
+		sh.freq = append(sh.freq, ix.items[p])
+		sh.refs = append(sh.refs, ix.bitmapAt(int(p)))
+	}
+
+	if err := eclatRun(sh, &q.scratch, res, workers); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -412,18 +502,22 @@ func (m *eclatMiner) buildBitmaps() {
 	u := len(sh.weights)
 	sh.words = (u + 63) / 64
 	need := len(sh.freq) * sh.words
-	if cap(sh.bitmaps) < need {
-		sh.bitmaps = make([]uint64, need)
+	if cap(m.bitmapArena) < need {
+		m.bitmapArena = make([]uint64, need)
 	}
-	sh.bitmaps = sh.bitmaps[:need]
-	for i := range sh.bitmaps {
-		sh.bitmaps[i] = 0
+	m.bitmapArena = m.bitmapArena[:need]
+	for i := range m.bitmapArena {
+		m.bitmapArena[i] = 0
 	}
 	for t := 0; t+1 < len(m.txOff); t++ {
 		word, bit := uint64(t>>6), uint64(t&63)
 		for _, j := range m.txArena[m.txOff[t]:m.txOff[t+1]] {
-			sh.bitmaps[int(j)*sh.words+int(word)] |= 1 << bit
+			m.bitmapArena[int(j)*sh.words+int(word)] |= 1 << bit
 		}
+	}
+	sh.refs = sh.refs[:0]
+	for j := range sh.freq {
+		sh.refs = append(sh.refs, m.bitmapArena[j*sh.words:(j+1)*sh.words])
 	}
 	if sh.weighted {
 		for len(sh.weights) < sh.words*64 {

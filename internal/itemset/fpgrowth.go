@@ -153,6 +153,10 @@ type Miner struct {
 	txOff   []int32
 	txCount []int
 
+	// posOrder maps an Index item position to its frequency-order index
+	// (nilIdx when infrequent); scratch for the indexed query path.
+	posOrder []int32
+
 	trees  []*flatTree // conditional-tree scratch, one per depth
 	suffix []int32
 	prefix []int32
@@ -227,6 +231,79 @@ func (m *Miner) FPGrowth(txs [][]ingredient.ID, minSupport float64) (*Result, er
 	for u := 0; u+1 < len(m.txOff); u++ {
 		tree.insert(m.txArena[m.txOff[u]:m.txOff[u+1]], m.txCount[u])
 	}
+
+	m.suffix = m.suffix[:0]
+	m.mine(tree, 1)
+	sortCanonical(res.Sets)
+	m.res = nil // don't retain the caller's result in the pool
+	return res, nil
+}
+
+// fpGrowthIndexed is the FP-tree kernel's query phase over a prebuilt
+// Index: frequent items come from the index's support counts and the
+// initial tree is built straight from the deduped weighted arena — no
+// counting pass, no second dedup (identical projected prefixes merge on
+// insertion), no raw transactions.
+func fpGrowthIndexed(ix *Index, minSupport float64) (*Result, error) {
+	m := minerPool.Get().(*Miner)
+	res, err := m.mineIndexed(ix, minSupport)
+	minerPool.Put(m)
+	return res, err
+}
+
+func (m *Miner) mineIndexed(ix *Index, minSupport float64) (*Result, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, ErrBadSupport
+	}
+	res := &Result{N: ix.n}
+	if ix.n == 0 {
+		return res, nil
+	}
+	m.res = res
+	m.mc = minCount(ix.n, minSupport)
+
+	// Frequent items straight from the index counts, in the same global
+	// order as the raw path: descending count, ties by ascending ID.
+	m.freq = m.freq[:0]
+	for _, ic := range ix.items {
+		if ic.count >= m.mc {
+			m.freq = append(m.freq, ic)
+		}
+	}
+	sort.Slice(m.freq, func(i, j int) bool {
+		if m.freq[i].count != m.freq[j].count {
+			return m.freq[i].count > m.freq[j].count
+		}
+		return m.freq[i].item < m.freq[j].item
+	})
+	if cap(m.posOrder) < len(ix.items) {
+		m.posOrder = make([]int32, len(ix.items))
+	}
+	m.posOrder = m.posOrder[:len(ix.items)]
+	for i := range m.posOrder {
+		m.posOrder[i] = nilIdx
+	}
+	for o, ic := range m.freq {
+		m.posOrder[ix.pos[ic.item]] = int32(o)
+	}
+
+	tree := m.treeAt(0)
+	tree.reset(len(m.freq))
+	buf := m.prefix[:0]
+	for u := 0; u < ix.uniques; u++ {
+		buf = buf[:0]
+		for _, p := range ix.txArena[ix.txOff[u]:ix.txOff[u+1]] {
+			if o := m.posOrder[p]; o != nilIdx {
+				buf = append(buf, o)
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sortInt32s(buf)
+		tree.insert(buf, int(ix.weights[u]))
+	}
+	m.prefix = buf[:0]
 
 	m.suffix = m.suffix[:0]
 	m.mine(tree, 1)

@@ -1,0 +1,156 @@
+package itemset
+
+import (
+	"reflect"
+	"testing"
+
+	"cuisinevol/internal/ingredient"
+)
+
+// Boundary corpora for the adaptive-kernel thresholds. Each corpus is
+// engineered to sit exactly on (or one off) a single threshold edge
+// while keeping the other two statistics safely inside Eclat territory,
+// so a test failure names the edge that moved. Construction notes:
+// density = totalOccurrences / (n × distinct) = meanTxSize / distinct,
+// and a transaction's subsets must never all become frequent when the
+// transaction is wide (a frequent 64-item transaction means 2^64
+// itemsets).
+
+// distinctBoundaryCorpus has exactly `distinct` distinct items: a
+// frequent 8-item core duplicated 32 times plus wide one-off filler
+// transactions packing the remaining IDs densely enough to keep column
+// density above 1/64. At minSupport 0.3 only the core's 255 subsets
+// are frequent, so forced-kernel mining stays cheap.
+func distinctBoundaryCorpus(distinct int) [][]ingredient.ID {
+	var txs [][]ingredient.ID
+	core := make([]ingredient.ID, 8)
+	for i := range core {
+		core[i] = ingredient.ID(i)
+	}
+	for i := 0; i < 32; i++ {
+		txs = append(txs, core)
+	}
+	// Filler: IDs [8, distinct) in one-off transactions of 128 items.
+	for lo := 8; lo < distinct; lo += 128 {
+		hi := lo + 128
+		if hi > distinct {
+			hi = distinct
+		}
+		f := make([]ingredient.ID, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			f = append(f, ingredient.ID(id))
+		}
+		txs = append(txs, f)
+	}
+	return txs
+}
+
+func TestChooseKernelDistinctBoundary(t *testing.T) {
+	at := distinctBoundaryCorpus(maxEclatDistinct)
+	over := distinctBoundaryCorpus(maxEclatDistinct + 1)
+	if got := ChooseKernel(at); got != KernelEclat {
+		t.Fatalf("distinct = max: %v, want eclat", got)
+	}
+	if got := ChooseKernel(over); got != KernelFPGrowth {
+		t.Fatalf("distinct = max+1: %v, want fpgrowth", got)
+	}
+	// The index-backed decision must agree on both sides of the edge,
+	// and forced kernels must agree on the result at the edge itself.
+	for name, txs := range map[string][][]ingredient.ID{"at": at, "over": over} {
+		ix, err := BuildIndex(txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw, indexed := ChooseKernel(txs), ix.ChooseKernel(); raw != indexed {
+			t.Fatalf("%s: raw %v vs indexed %v", name, raw, indexed)
+		}
+		forcedKernelsAgree(t, ix, txs, 0.3, "distinct-"+name)
+	}
+}
+
+func TestChooseKernelTxCountBoundary(t *testing.T) {
+	// Single-item transactions sharing one backing slice: n is the only
+	// statistic that moves across the edge (distinct = 1, density = 1).
+	one := []ingredient.ID{1}
+	txs := make([][]ingredient.ID, maxEclatTxs+1)
+	for i := range txs {
+		txs[i] = one
+	}
+	if got := ChooseKernel(txs[:maxEclatTxs]); got != KernelEclat {
+		t.Fatalf("n = max: %v, want eclat", got)
+	}
+	if got := ChooseKernel(txs); got != KernelFPGrowth {
+		t.Fatalf("n = max+1: %v, want fpgrowth", got)
+	}
+	for name, db := range map[string][][]ingredient.ID{"at": txs[:maxEclatTxs], "over": txs} {
+		ix, err := BuildIndex(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw, indexed := ChooseKernel(db), ix.ChooseKernel(); raw != indexed {
+			t.Fatalf("%s: raw %v vs indexed %v", name, raw, indexed)
+		}
+		forcedKernelsAgree(t, ix, db, 0.5, "txcount-"+name)
+	}
+}
+
+func TestChooseKernelDensityBoundary(t *testing.T) {
+	// 64 disjoint 64-item transactions over 4096 items: density is
+	// exactly 1/64 (the edge is inclusive — the check is density < min),
+	// with distinct sitting exactly at its own edge too. Appending one
+	// empty transaction drops density to 1/65 without touching distinct.
+	var at [][]ingredient.ID
+	for lo := 0; lo < 4096; lo += 64 {
+		f := make([]ingredient.ID, 64)
+		for i := range f {
+			f[i] = ingredient.ID(lo + i)
+		}
+		at = append(at, f)
+	}
+	under := append(append([][]ingredient.ID{}, at...), []ingredient.ID{})
+	if got := ChooseKernel(at); got != KernelEclat {
+		t.Fatalf("density = 1/64: %v, want eclat", got)
+	}
+	if got := ChooseKernel(under); got != KernelFPGrowth {
+		t.Fatalf("density = 1/65: %v, want fpgrowth", got)
+	}
+	for name, db := range map[string][][]ingredient.ID{"at": at, "under": under} {
+		ix, err := BuildIndex(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw, indexed := ChooseKernel(db), ix.ChooseKernel(); raw != indexed {
+			t.Fatalf("%s: raw %v vs indexed %v", name, raw, indexed)
+		}
+		// Disjoint transactions: nothing reaches a 0.5 threshold, but
+		// the kernels must agree on that emptiness too.
+		forcedKernelsAgree(t, ix, db, 0.5, "density-"+name)
+	}
+}
+
+// forcedKernelsAgree pins result equality across explicitly forced
+// kernels at a boundary corpus — the auto heuristic may flip here by
+// design, so equality of forced runs is what proves the flip harmless.
+func forcedKernelsAgree(t *testing.T, ix *Index, txs [][]ingredient.ID, minSupport float64, label string) {
+	t.Helper()
+	base, err := MineIndexed(ix, minSupport, MineOptions{Kernel: KernelApriori})
+	if err != nil {
+		t.Fatalf("%s: indexed apriori: %v", label, err)
+	}
+	for _, k := range []Kernel{KernelFPGrowth, KernelEclat} {
+		indexed, err := MineIndexed(ix, minSupport, MineOptions{Kernel: k})
+		if err != nil {
+			t.Fatalf("%s: indexed %v: %v", label, k, err)
+		}
+		if !reflect.DeepEqual(base.Sets, indexed.Sets) {
+			t.Fatalf("%s: indexed %v diverges from indexed apriori", label, k)
+		}
+		raw, err := Mine(txs, minSupport, MineOptions{Kernel: k})
+		if err != nil {
+			t.Fatalf("%s: raw %v: %v", label, k, err)
+		}
+		if !reflect.DeepEqual(base.Sets, raw.Sets) {
+			t.Fatalf("%s: raw %v diverges from indexed apriori", label, k)
+		}
+	}
+}

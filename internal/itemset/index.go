@@ -1,0 +1,282 @@
+package itemset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"cuisinevol/internal/ingredient"
+)
+
+// Index is the build-once corpus index: the deduped weighted transaction
+// arena plus a full vertical bitmap layout (one tidset bitmap per
+// distinct item — every item, not just the ones frequent at some
+// threshold), the per-item support counts, and a content fingerprint of
+// the indexed transactions.
+//
+// The index depends only on the corpus, never on a mining threshold or
+// kernel, so one build amortizes across every (minSupport, kernel)
+// query: MineIndexed filters the frequent items at query time and mines
+// straight off the arena and bitmaps without ever touching raw
+// [][]ingredient.ID again. The per-item bitmaps double as posting lists
+// over the unique-transaction space (AND+popcount is the query
+// primitive), which is what the search and incremental-mining roadmap
+// items build on.
+//
+// An Index is immutable after BuildIndex returns and safe for
+// concurrent use by any number of queries. The planned epoch-snapshot
+// evolution (DESIGN.md §12) mutates by replacing whole Index values,
+// never by editing one in place.
+type Index struct {
+	n        int         // transactions indexed, duplicates and empties included
+	totalOcc int         // total item occurrences across all indexed transactions
+	items    []itemCount // every distinct item with its support count, ascending ID
+	pos      map[ingredient.ID]int32
+
+	// Unique transactions, flattened: transaction u occupies
+	// txArena[txOff[u]:txOff[u+1]] (strictly ascending item positions)
+	// and occurred weights[u] times in the input.
+	txArena []int32
+	txOff   []int32
+	uniques int
+
+	weights  []int32 // per unique transaction; padded to words*64 when weighted
+	weighted bool
+	words    int      // bitmap length in uint64 words
+	bitmaps  []uint64 // item position p occupies [p*words : (p+1)*words]
+
+	fp    string
+	bytes int64
+}
+
+// BuildIndex indexes a transaction database: validation, item counting,
+// transaction dedup and the full vertical bitmap layout in one pass
+// family. Transactions must be sorted strictly ascending (the contract
+// every kernel already enforces). The input slices are read, never
+// retained or modified.
+func BuildIndex(txs [][]ingredient.ID) (*Index, error) {
+	if err := validateTransactions(txs); err != nil {
+		return nil, err
+	}
+	ix := &Index{n: len(txs)}
+
+	// Count every item and fingerprint the content in the same sweep.
+	h := sha256.New()
+	var word [4]byte
+	counts := make(map[ingredient.ID]int, 256)
+	for _, tx := range txs {
+		for _, it := range tx {
+			counts[it]++
+			binary.LittleEndian.PutUint32(word[:], uint32(it))
+			h.Write(word[:])
+		}
+		h.Write([]byte{0xff})
+		ix.totalOcc += len(tx)
+	}
+	ix.fp = hex.EncodeToString(h.Sum(nil)[:16])
+
+	// Item table in ascending ID order: a fixed, threshold-independent
+	// order, so a transaction's ascending-ID items map to ascending
+	// positions and stay sorted for free.
+	ix.items = make([]itemCount, 0, len(counts))
+	for it, c := range counts {
+		ix.items = append(ix.items, itemCount{it, c})
+	}
+	sort.Slice(ix.items, func(i, j int) bool { return ix.items[i].item < ix.items[j].item })
+	ix.pos = make(map[ingredient.ID]int32, len(ix.items))
+	for p, ic := range ix.items {
+		ix.pos[ic.item] = int32(p)
+	}
+
+	// Dedup identical transactions into (transaction, weight) pairs —
+	// the same collapse the kernels used to redo per mine, done once.
+	dedup := make(map[string]int32, len(txs))
+	wide := len(ix.items) > 0xffff
+	keyBuf := make([]byte, 0, 64)
+	buf := make([]int32, 0, 64)
+	ix.txOff = append(ix.txOff, 0)
+	for _, tx := range txs {
+		if len(tx) == 0 {
+			continue
+		}
+		buf = buf[:0]
+		for _, it := range tx {
+			buf = append(buf, ix.pos[it])
+		}
+		keyBuf = keyBuf[:0]
+		if wide {
+			for _, v := range buf {
+				keyBuf = append(keyBuf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+			}
+		} else {
+			for _, v := range buf {
+				keyBuf = append(keyBuf, byte(v>>8), byte(v))
+			}
+		}
+		if u, ok := dedup[string(keyBuf)]; ok {
+			ix.weights[u]++
+			continue
+		}
+		dedup[string(keyBuf)] = int32(len(ix.weights))
+		ix.txArena = append(ix.txArena, buf...)
+		ix.txOff = append(ix.txOff, int32(len(ix.txArena)))
+		ix.weights = append(ix.weights, 1)
+	}
+	ix.uniques = len(ix.weights)
+	for _, w := range ix.weights {
+		if w > 1 {
+			ix.weighted = true
+			break
+		}
+	}
+
+	// One contiguous bitmap arena over the unique transaction ids, every
+	// item included: filtering to the frequent subset is the query
+	// phase's job, and changing the threshold must not trigger a rebuild.
+	ix.words = (ix.uniques + 63) / 64
+	ix.bitmaps = make([]uint64, len(ix.items)*ix.words)
+	for t := 0; t+1 < len(ix.txOff); t++ {
+		w, bit := t>>6, uint(t&63)
+		for _, p := range ix.txArena[ix.txOff[t]:ix.txOff[t+1]] {
+			ix.bitmaps[int(p)*ix.words+w] |= 1 << bit
+		}
+	}
+	if ix.weighted {
+		// Pad to a whole word so the weighted intersect loop can index by
+		// bit position without bounds branches (same layout as the
+		// per-mine Eclat builder used).
+		for len(ix.weights) < ix.words*64 {
+			ix.weights = append(ix.weights, 0)
+		}
+	}
+
+	ix.bytes = int64(len(ix.txArena))*4 + int64(len(ix.txOff))*4 +
+		int64(len(ix.weights))*4 + int64(len(ix.bitmaps))*8 +
+		int64(len(ix.items))*8 + int64(len(ix.pos))*16 + int64(len(ix.fp))
+	return ix, nil
+}
+
+// N returns the number of indexed transactions (the denominator of
+// every support computed from this index).
+func (ix *Index) N() int { return ix.n }
+
+// DistinctItems returns the number of distinct items in the indexed
+// transactions.
+func (ix *Index) DistinctItems() int { return len(ix.items) }
+
+// UniqueTransactions returns the number of unique transactions after
+// dedup (the bit width of every posting bitmap).
+func (ix *Index) UniqueTransactions() int { return ix.uniques }
+
+// TotalOccurrences returns the total item occurrences across all
+// indexed transactions — with N and DistinctItems, the exact statistics
+// the adaptive kernel heuristic needs.
+func (ix *Index) TotalOccurrences() int { return ix.totalOcc }
+
+// Fingerprint returns the 128-bit hex content hash of the indexed
+// transactions. Two indexes over identical transaction databases share
+// a fingerprint regardless of how the databases were obtained.
+func (ix *Index) Fingerprint() string { return ix.fp }
+
+// Bytes returns the index's retained size estimate, the unit of the
+// IndexCache byte budget.
+func (ix *Index) Bytes() int64 { return ix.bytes }
+
+// Support returns the number of indexed transactions containing the
+// item (its absolute support; zero for items never seen).
+func (ix *Index) Support(it ingredient.ID) int {
+	if p, ok := ix.pos[it]; ok {
+		return ix.items[p].count
+	}
+	return 0
+}
+
+// AddSupportCounts adds every item's support count into dst, indexed by
+// item ID — the per-view document frequencies the overrepresentation
+// metric (Eq 1) consumes. Items whose ID falls outside dst are skipped.
+func (ix *Index) AddSupportCounts(dst []int) {
+	for _, ic := range ix.items {
+		if int(ic.item) < len(dst) {
+			dst[ic.item] += ic.count
+		}
+	}
+}
+
+// ChooseKernel picks the cheaper mining kernel from the index's exact
+// shape statistics — no re-estimation pass over raw transactions. The
+// decision is identical to ChooseKernel on the transactions the index
+// was built from.
+func (ix *Index) ChooseKernel() Kernel {
+	return chooseKernelFromStats(ix.n, len(ix.items), ix.totalOcc)
+}
+
+// bitmapAt returns the tidset bitmap of the item at position p.
+func (ix *Index) bitmapAt(p int) []uint64 {
+	return ix.bitmaps[p*ix.words : (p+1)*ix.words]
+}
+
+// aprioriIndexed is the level-wise kernel's query phase: L1 comes from
+// the index's support counts and candidate counting scans the deduped
+// weighted arena instead of raw transactions.
+func aprioriIndexed(ix *Index, minSupport float64) (*Result, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, ErrBadSupport
+	}
+	res := &Result{N: ix.n}
+	if ix.n == 0 {
+		return res, nil
+	}
+	mc := minCount(ix.n, minSupport)
+
+	// L1 straight from the index counts.
+	frequent := make([]bool, len(ix.items))
+	var level []Itemset
+	for p, ic := range ix.items {
+		if ic.count >= mc {
+			frequent[p] = true
+			level = append(level, Itemset{Items: []ingredient.ID{ic.item}, Count: ic.count})
+		}
+	}
+	sortLexical(level)
+	res.Sets = append(res.Sets, level...)
+
+	// Project the unique transactions onto the frequent items once,
+	// keeping their multiplicities; positions ascend, so the projected
+	// ID slices are sorted by construction.
+	filtered := make([][]ingredient.ID, 0, ix.uniques)
+	weights := make([]int32, 0, ix.uniques)
+	for u := 0; u < ix.uniques; u++ {
+		span := ix.txArena[ix.txOff[u]:ix.txOff[u+1]]
+		ftx := make([]ingredient.ID, 0, len(span))
+		for _, p := range span {
+			if frequent[p] {
+				ftx = append(ftx, ix.items[p].item)
+			}
+		}
+		if len(ftx) >= 2 {
+			filtered = append(filtered, ftx)
+			weights = append(weights, ix.weights[u])
+		}
+	}
+
+	for len(level) >= 2 {
+		candidates := aprioriGen(level)
+		if len(candidates) == 0 {
+			break
+		}
+		countCandidates(candidates, filtered, weights)
+		next := candidates[:0]
+		for _, c := range candidates {
+			if c.Count >= mc {
+				next = append(next, c)
+			}
+		}
+		level = append([]Itemset(nil), next...)
+		sortLexical(level)
+		res.Sets = append(res.Sets, level...)
+	}
+
+	sortCanonical(res.Sets)
+	return res, nil
+}

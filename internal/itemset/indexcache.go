@@ -1,0 +1,158 @@
+package itemset
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"cuisinevol/internal/ingredient"
+)
+
+// IndexKey derives the canonical cache key for one corpus slice's
+// index: the corpus content fingerprint plus the slice selector. Every
+// layer that shares an IndexCache — the server handlers, the experiment
+// harness, the facade — keys it this way, so a /v1/mine request, a
+// Table I run and a Fig 3 panel over the same cuisine converge on one
+// entry. Content addressing is the same discipline as the server's
+// result cache: the key identifies the data, so entries never need
+// invalidation, only eviction.
+func IndexKey(corpusFingerprint, region string, categories bool) string {
+	return corpusFingerprint + "|region=" + region + "|categories=" + strconv.FormatBool(categories)
+}
+
+// IndexCacheStats is a snapshot of an IndexCache's counters.
+type IndexCacheStats struct {
+	Builds    uint64 // index builds executed (singleflight-deduplicated)
+	Hits      uint64 // Gets served from a cached index
+	Misses    uint64 // Gets that had to build (or join an in-flight build)
+	Evictions uint64 // indexes evicted to fit the byte budget
+	Bytes     int64  // retained bytes of cached indexes
+	Entries   int    // cached indexes
+}
+
+// IndexCache is a byte-budget LRU of immutable corpus indexes with
+// singleflight builds: concurrent Gets for the same key share one
+// BuildIndex run, and completed indexes are retained until the budget
+// forces eviction. Safe for concurrent use.
+type IndexCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	order   *list.List // front = most recently used; values are *indexEntry
+	entries map[string]*list.Element
+	flight  map[string]*indexCall
+
+	builds, hits, misses, evictions uint64
+}
+
+type indexEntry struct {
+	key string
+	ix  *Index
+}
+
+// indexCall is one in-flight build; waiters block on done.
+type indexCall struct {
+	done chan struct{}
+	ix   *Index
+	err  error
+}
+
+// NewIndexCache returns a cache bounded at budget bytes of retained
+// index memory. budget <= 0 disables retention: every Get builds (still
+// singleflight-coalesced with concurrent identical Gets).
+func NewIndexCache(budget int64) *IndexCache {
+	return &IndexCache{
+		budget:  budget,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+		flight:  make(map[string]*indexCall),
+	}
+}
+
+// Get returns the index cached under key, building it from source's
+// transactions on first use. source is invoked at most once per
+// in-flight key no matter how many goroutines ask concurrently; its
+// error is propagated to every waiter and nothing is cached. The
+// returned Index is immutable and remains valid after eviction.
+func (c *IndexCache) Get(key string, source func() ([][]ingredient.ID, error)) (*Index, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		ix := el.Value.(*indexEntry).ix
+		c.mu.Unlock()
+		return ix, nil
+	}
+	c.misses++
+	if call, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.ix, call.err
+	}
+	call := &indexCall{done: make(chan struct{})}
+	c.flight[key] = call
+	c.builds++
+	c.mu.Unlock()
+
+	call.ix, call.err = buildFromSource(source)
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if call.err == nil {
+		c.put(key, call.ix)
+	}
+	c.mu.Unlock()
+	return call.ix, call.err
+}
+
+// buildFromSource materializes the transactions and builds the index.
+func buildFromSource(source func() ([][]ingredient.ID, error)) (*Index, error) {
+	txs, err := source()
+	if err != nil {
+		return nil, err
+	}
+	return BuildIndex(txs)
+}
+
+// put inserts under c.mu, evicting LRU entries to fit the budget.
+// Indexes larger than the whole budget are returned to callers but not
+// retained.
+func (c *IndexCache) put(key string, ix *Index) {
+	size := ix.Bytes()
+	if size > c.budget {
+		return
+	}
+	if _, ok := c.entries[key]; ok {
+		// A racing build for the same key already landed; same content
+		// fingerprint implies an equivalent index — keep the incumbent.
+		return
+	}
+	for c.used+size > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*indexEntry)
+		c.order.Remove(back)
+		delete(c.entries, ev.key)
+		c.used -= ev.ix.Bytes()
+		c.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&indexEntry{key: key, ix: ix})
+	c.used += size
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *IndexCache) Stats() IndexCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return IndexCacheStats{
+		Builds:    c.builds,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.used,
+		Entries:   len(c.entries),
+	}
+}

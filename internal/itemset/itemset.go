@@ -169,7 +169,7 @@ func Apriori(txs [][]ingredient.ID, minSupport float64) (*Result, error) {
 		if len(candidates) == 0 {
 			break
 		}
-		countCandidates(candidates, filtered)
+		countCandidates(candidates, filtered, nil)
 		next := candidates[:0]
 		for _, c := range candidates {
 			if c.Count >= mc {
@@ -274,8 +274,9 @@ func fingerprint(items []ingredient.ID) string {
 // bucketed by their first item, so each transaction only tests
 // candidates whose head it actually contains — instead of the full
 // O(|C|·|T|) cross product — and transactions shorter than k are skipped
-// outright.
-func countCandidates(candidates []Itemset, txs [][]ingredient.ID) {
+// outright. weights carries per-transaction multiplicities for deduped
+// databases (the indexed path); nil means every transaction counts once.
+func countCandidates(candidates []Itemset, txs [][]ingredient.ID, weights []int32) {
 	if len(candidates) == 0 {
 		return
 	}
@@ -285,9 +286,13 @@ func countCandidates(candidates []Itemset, txs [][]ingredient.ID) {
 		h := candidates[ci].Items[0]
 		byHead[h] = append(byHead[h], int32(ci))
 	}
-	for _, tx := range txs {
+	for ti, tx := range txs {
 		if len(tx) < k {
 			continue
+		}
+		w := 1
+		if weights != nil {
+			w = int(weights[ti])
 		}
 		// A candidate headed at position i needs k-1 more items after it,
 		// so only heads up to len(tx)-k can match.
@@ -295,7 +300,7 @@ func countCandidates(candidates []Itemset, txs [][]ingredient.ID) {
 			for _, ci := range byHead[tx[i]] {
 				c := &candidates[ci]
 				if containsSorted(tx[i+1:], c.Items[1:]) {
-					c.Count++
+					c.Count += w
 				}
 			}
 		}

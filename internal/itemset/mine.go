@@ -93,6 +93,28 @@ func Mine(txs [][]ingredient.ID, minSupport float64, opts MineOptions) (*Result,
 	}
 }
 
+// MineIndexed mines all frequent itemsets of size >= 1 with relative
+// support >= minSupport off a prebuilt Index — the query phase of
+// index/query-split mining. Frequent items are filtered from the
+// index's support counts at the requested threshold; no kernel touches
+// raw [][]ingredient.ID. Results are byte-identical to Mine on the
+// transactions the index was built from (pinned by the differential
+// layer), so callers can swap freely between the two paths.
+func MineIndexed(ix *Index, minSupport float64, opts MineOptions) (*Result, error) {
+	k := opts.Kernel
+	if k == KernelAuto {
+		k = ix.ChooseKernel()
+	}
+	switch k {
+	case KernelEclat:
+		return eclatMineIndexed(ix, minSupport, opts.Workers)
+	case KernelApriori:
+		return aprioriIndexed(ix, minSupport)
+	default:
+		return fpGrowthIndexed(ix, minSupport)
+	}
+}
+
 // Adaptive-selection thresholds (see DESIGN.md §10). The vertical
 // kernel's cost is bitmap words × items: it wins while the item
 // universe is modest and the columns are dense enough that popcount
@@ -138,7 +160,20 @@ func ChooseKernel(txs [][]ingredient.ID) Kernel {
 			}
 		}
 	}
-	if distinct == 0 {
+	return chooseKernelFromStats(n, distinct, total)
+}
+
+// chooseKernelFromStats is the shared decision rule behind ChooseKernel
+// and Index.ChooseKernel: given the exact shape statistics — transaction
+// count, distinct item count, total item occurrences — pick the cheaper
+// kernel. Index.ChooseKernel reads these straight off the prebuilt
+// index instead of re-estimating them from raw transactions; both paths
+// decide identically by construction.
+func chooseKernelFromStats(n, distinct, total int) Kernel {
+	if n == 0 || n > maxEclatTxs {
+		return KernelFPGrowth
+	}
+	if distinct == 0 || distinct > maxEclatDistinct {
 		return KernelFPGrowth
 	}
 	density := float64(total) / (float64(n) * float64(distinct))

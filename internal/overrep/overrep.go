@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/itemset"
 	"cuisinevol/internal/recipe"
 )
 
@@ -37,6 +38,20 @@ func New(corpus *recipe.Corpus) *Analysis {
 	return a
 }
 
+// NewFromIndex builds an Analysis whose global document frequencies
+// come from a prebuilt whole-corpus itemset.Index instead of a corpus
+// rescan: an index's per-item support counts are exactly the nᵢ of
+// Eq 1. The index must cover the same transactions as corpus.AllView().
+func NewFromIndex(corpus *recipe.Corpus, all *itemset.Index) *Analysis {
+	counts := make([]int, corpus.Lexicon().Len())
+	all.AddSupportCounts(counts)
+	return &Analysis{
+		corpus:       corpus,
+		globalCounts: counts,
+		globalTotal:  all.N(),
+	}
+}
+
 // Scores returns Eq 1 for every lexicon entity in the given region.
 // An error is returned for a region with no recipes.
 func (a *Analysis) Scores(region string) ([]float64, error) {
@@ -46,6 +61,24 @@ func (a *Analysis) Scores(region string) ([]float64, error) {
 	}
 	regionCounts := view.IngredientRecipeCounts()
 	n := float64(view.Len())
+	g := float64(a.globalTotal)
+	out := make([]float64, len(regionCounts))
+	for id := range regionCounts {
+		out[id] = float64(regionCounts[id])/n - float64(a.globalCounts[id])/g
+	}
+	return out, nil
+}
+
+// ScoresFromIndex is Scores with the region's document frequencies read
+// off a prebuilt per-region index rather than a view rescan. The index
+// must cover the same transactions as corpus.Region(region).
+func (a *Analysis) ScoresFromIndex(region string, ix *itemset.Index) ([]float64, error) {
+	if ix.N() == 0 {
+		return nil, fmt.Errorf("overrep: region %q has no recipes", region)
+	}
+	regionCounts := make([]int, len(a.globalCounts))
+	ix.AddSupportCounts(regionCounts)
+	n := float64(ix.N())
 	g := float64(a.globalTotal)
 	out := make([]float64, len(regionCounts))
 	for id := range regionCounts {
@@ -67,6 +100,20 @@ func (a *Analysis) TopK(region string, k int) ([]Ranked, error) {
 	if err != nil {
 		return nil, err
 	}
+	return rank(scores, k), nil
+}
+
+// TopKFromIndex is TopK over a prebuilt per-region index.
+func (a *Analysis) TopKFromIndex(region string, ix *itemset.Index, k int) ([]Ranked, error) {
+	scores, err := a.ScoresFromIndex(region, ix)
+	if err != nil {
+		return nil, err
+	}
+	return rank(scores, k), nil
+}
+
+// rank orders scores descending (ties by ascending ID) and truncates.
+func rank(scores []float64, k int) []Ranked {
 	ranked := make([]Ranked, len(scores))
 	for id, s := range scores {
 		ranked[id] = Ranked{ID: ingredient.ID(id), Score: s}
@@ -80,7 +127,7 @@ func (a *Analysis) TopK(region string, k int) ([]Ranked, error) {
 	if k > len(ranked) {
 		k = len(ranked)
 	}
-	return ranked[:k], nil
+	return ranked[:k]
 }
 
 // TopKNames is TopK resolved to canonical ingredient names.
@@ -89,10 +136,23 @@ func (a *Analysis) TopKNames(region string, k int) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	return a.names(top), nil
+}
+
+// TopKNamesFromIndex is TopKFromIndex resolved to canonical names.
+func (a *Analysis) TopKNamesFromIndex(region string, ix *itemset.Index, k int) ([]string, error) {
+	top, err := a.TopKFromIndex(region, ix, k)
+	if err != nil {
+		return nil, err
+	}
+	return a.names(top), nil
+}
+
+func (a *Analysis) names(top []Ranked) []string {
 	lex := a.corpus.Lexicon()
 	out := make([]string, len(top))
 	for i, r := range top {
 		out[i] = lex.Name(r.ID)
 	}
-	return out, nil
+	return out
 }

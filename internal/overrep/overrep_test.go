@@ -2,9 +2,11 @@ package overrep
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/itemset"
 	"cuisinevol/internal/recipe"
 )
 
@@ -162,5 +164,57 @@ func TestTopKDeterministicTies(t *testing.T) {
 		if t1[i] != t2[i] {
 			t.Fatal("TopK not deterministic under ties")
 		}
+	}
+}
+
+// TestIndexPathEquivalence: the index-backed analysis — global counts
+// from the whole-corpus index, per-region scores from per-region
+// indexes — must reproduce the classic corpus-scan path exactly, scores
+// and rankings both.
+func TestIndexPathEquivalence(t *testing.T) {
+	c := buildCorpus(t)
+	classic := New(c)
+
+	allIx, err := itemset.BuildIndex(c.AllView().Transactions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := NewFromIndex(c, allIx)
+
+	for _, region := range c.Regions() {
+		want, err := classic.Scores(region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regionIx, err := itemset.BuildIndex(c.Region(region).Transactions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := indexed.ScoresFromIndex(region, regionIx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("region %s: index-backed scores diverge from corpus scan", region)
+		}
+		wantTop, err := classic.TopKNames(region, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTop, err := indexed.TopKNamesFromIndex(region, regionIx, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantTop, gotTop) {
+			t.Fatalf("region %s: TopKNames diverge: %v vs %v", region, wantTop, gotTop)
+		}
+	}
+	// Empty index errors like an unknown region does.
+	empty, err := itemset.BuildIndex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := indexed.ScoresFromIndex("NOPE", empty); err == nil {
+		t.Fatal("empty region index must error")
 	}
 }

@@ -5,8 +5,12 @@
 package recipe
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 
 	"cuisinevol/internal/ingredient"
 )
@@ -92,6 +96,10 @@ type Corpus struct {
 	lex      *ingredient.Lexicon
 	recipes  []Recipe
 	byRegion map[string][]int // region code -> recipe indices, in insertion order
+
+	fpMu  sync.Mutex
+	fp    string // memoized content fingerprint
+	fpLen int    // corpus length the memo was computed at
 }
 
 // NewCorpus creates an empty corpus over the given lexicon.
@@ -126,6 +134,36 @@ func (c *Corpus) Len() int { return len(c.recipes) }
 
 // Get returns the recipe with the given dense ID.
 func (c *Corpus) Get(id int) Recipe { return c.recipes[id] }
+
+// Fingerprint returns the hex content hash of the corpus — every
+// recipe's region and ingredient set in corpus order — so caches can
+// key on the data actually served, not on how it was obtained: a corpus
+// loaded from disk and an identical generated one share a fingerprint,
+// and any edit changes it. The hash is memoized against the corpus
+// length (the corpus is append-only), so repeated calls after building
+// are free. Safe for concurrent use once building is complete.
+func (c *Corpus) Fingerprint() string {
+	c.fpMu.Lock()
+	defer c.fpMu.Unlock()
+	if c.fp != "" && c.fpLen == len(c.recipes) {
+		return c.fp
+	}
+	h := sha256.New()
+	var buf [4]byte
+	for i := range c.recipes {
+		r := &c.recipes[i]
+		h.Write([]byte(r.Region))
+		h.Write([]byte{0})
+		for _, id := range r.Ingredients {
+			binary.LittleEndian.PutUint32(buf[:], uint32(id))
+			h.Write(buf[:])
+		}
+		h.Write([]byte{0xff})
+	}
+	c.fp = hex.EncodeToString(h.Sum(nil)[:16])
+	c.fpLen = len(c.recipes)
+	return c.fp
+}
 
 // Regions returns the region codes present, sorted lexicographically.
 func (c *Corpus) Regions() []string {

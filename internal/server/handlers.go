@@ -50,7 +50,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache)
+	s.metrics.WriteTo(w, s.cache, s.indexes)
 }
 
 // cuisineInfo is one row of /v1/cuisines.
@@ -273,12 +273,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	// keys.
 	canon := canonicalParams("categories", categories, "kernel", kernel.String(), "region", region, "support", support, "top", top)
 	s.serveComputed(w, r, "/v1/mine", canon, func(ctx context.Context) (any, error) {
-		view := s.corpus.Region(region)
-		txs := view.Transactions()
-		if categories {
-			txs = view.CategoryTransactions()
+		ix, err := s.viewIndex(region, categories)
+		if err != nil {
+			return nil, err
 		}
-		res, err := itemset.Mine(txs, support, itemset.MineOptions{Kernel: kernel, Workers: s.mineWorkers()})
+		res, err := itemset.MineIndexed(ix, support, itemset.MineOptions{Kernel: kernel, Workers: s.mineWorkers()})
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +317,18 @@ func (s *Server) handleOverrep(w http.ResponseWriter, r *http.Request) {
 	}
 	canon := canonicalParams("k", k, "region", region)
 	s.serveComputed(w, r, "/v1/overrep", canon, func(ctx context.Context) (any, error) {
-		topK, err := overrep.New(s.corpus).TopK(region, k)
+		// Both document-frequency tables come off shared indexes: the
+		// whole-corpus one carries Eq 1's global counts, the region one
+		// its numerator — no per-request corpus rescan.
+		allIx, err := s.viewIndex("", false)
+		if err != nil {
+			return nil, err
+		}
+		regionIx, err := s.viewIndex(region, false)
+		if err != nil {
+			return nil, err
+		}
+		topK, err := overrep.NewFromIndex(s.corpus, allIx).TopKFromIndex(region, regionIx, k)
 		if err != nil {
 			return nil, err
 		}
@@ -351,7 +361,11 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 	canon := canonicalParams("model", kind.String(), "region", region, "replicates", replicates, "support", support)
 	s.serveComputed(w, r, "/v1/evolve", canon, func(ctx context.Context) (any, error) {
 		view := s.corpus.Region(region)
-		empirical, err := itemset.Mine(view.Transactions(), support, itemset.MineOptions{})
+		ix, err := s.viewIndex(region, false)
+		if err != nil {
+			return nil, err
+		}
+		empirical, err := itemset.MineIndexed(ix, support, itemset.MineOptions{})
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"cuisinevol/internal/itemset"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. They span
@@ -82,7 +84,7 @@ func (m *metrics) observe(endpoint string, status int, seconds float64) {
 // WriteTo renders the registry in Prometheus text exposition format
 // (version 0.0.4). Families and label values are emitted in sorted
 // order.
-func (m *metrics) WriteTo(w io.Writer, cache *resultCache) error {
+func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.IndexCache) error {
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.requests))
 	for ep := range m.requests {
@@ -145,6 +147,26 @@ func (m *metrics) WriteTo(w io.Writer, cache *resultCache) error {
 	appendf("# HELP cuisinevol_cache_entries Entries currently cached.\n")
 	appendf("# TYPE cuisinevol_cache_entries gauge\n")
 	appendf("cuisinevol_cache_entries %d\n", entries)
+
+	ist := indexes.Stats()
+	appendf("# HELP cuisinevol_index_builds_total Corpus-index builds executed (singleflight-deduplicated).\n")
+	appendf("# TYPE cuisinevol_index_builds_total counter\n")
+	appendf("cuisinevol_index_builds_total %d\n", ist.Builds)
+	appendf("# HELP cuisinevol_index_hits_total Index-cache lookups served from a cached index.\n")
+	appendf("# TYPE cuisinevol_index_hits_total counter\n")
+	appendf("cuisinevol_index_hits_total %d\n", ist.Hits)
+	appendf("# HELP cuisinevol_index_misses_total Index-cache lookups that had to build or join an in-flight build.\n")
+	appendf("# TYPE cuisinevol_index_misses_total counter\n")
+	appendf("cuisinevol_index_misses_total %d\n", ist.Misses)
+	appendf("# HELP cuisinevol_index_evictions_total Indexes evicted to fit the byte budget.\n")
+	appendf("# TYPE cuisinevol_index_evictions_total counter\n")
+	appendf("cuisinevol_index_evictions_total %d\n", ist.Evictions)
+	appendf("# HELP cuisinevol_index_bytes Bytes of prebuilt corpus indexes currently retained.\n")
+	appendf("# TYPE cuisinevol_index_bytes gauge\n")
+	appendf("cuisinevol_index_bytes %d\n", ist.Bytes)
+	appendf("# HELP cuisinevol_index_entries Corpus indexes currently cached.\n")
+	appendf("# TYPE cuisinevol_index_entries gauge\n")
+	appendf("cuisinevol_index_entries %d\n", ist.Entries)
 
 	appendf("# HELP cuisinevol_coalesced_requests_total Requests served by joining an identical in-flight computation.\n")
 	appendf("# TYPE cuisinevol_coalesced_requests_total counter\n")

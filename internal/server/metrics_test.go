@@ -70,6 +70,12 @@ func TestMetricsExpositionParses(t *testing.T) {
 		"cuisinevol_coalesced_requests_total":      "counter",
 		"cuisinevol_computations_total":            "counter",
 		"cuisinevol_compute_inflight":              "gauge",
+		"cuisinevol_index_builds_total":            "counter",
+		"cuisinevol_index_hits_total":              "counter",
+		"cuisinevol_index_misses_total":            "counter",
+		"cuisinevol_index_evictions_total":         "counter",
+		"cuisinevol_index_bytes":                   "gauge",
+		"cuisinevol_index_entries":                 "gauge",
 	} {
 		if got := types[family]; got != kind {
 			t.Errorf("family %s: TYPE %q (want %q)", family, got, kind)
@@ -105,5 +111,45 @@ func TestMetricsExpositionParses(t *testing.T) {
 	}
 	if count := samples[`cuisinevol_http_request_duration_seconds_count{endpoint="/v1/overrep"}`]; count != 3 || prev != count {
 		t.Errorf("histogram count = %v, +Inf = %v (want 3, equal)", count, prev)
+	}
+}
+
+// TestIndexSharedAcrossRequests proves the build-once contract at the
+// serving layer: two mines over the same view at different supports are
+// distinct result-cache entries but share one prebuilt corpus index, so
+// the second request records an index hit and no new build.
+func TestIndexSharedAcrossRequests(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	if resp, _ := get(t, ts, "/v1/mine?region=ITA&support=0.3"); resp.StatusCode != 200 {
+		t.Fatalf("first mine: %d", resp.StatusCode)
+	}
+	after1 := srv.indexes.Stats()
+	if after1.Builds != 1 {
+		t.Fatalf("builds after first mine = %d (want 1)", after1.Builds)
+	}
+
+	if resp, _ := get(t, ts, "/v1/mine?region=ITA&support=0.4"); resp.StatusCode != 200 {
+		t.Fatalf("second mine: %d", resp.StatusCode)
+	}
+	after2 := srv.indexes.Stats()
+	if after2.Builds != after1.Builds {
+		t.Errorf("second support rebuilt the index: builds %d -> %d", after1.Builds, after2.Builds)
+	}
+	if after2.Hits != after1.Hits+1 {
+		t.Errorf("hits %d -> %d (want +1)", after1.Hits, after2.Hits)
+	}
+
+	// A different view (the overrep handler touches the aggregate index
+	// plus the region's) builds new entries without evicting ITA's.
+	if resp, _ := get(t, ts, "/v1/overrep?region=ITA&k=3"); resp.StatusCode != 200 {
+		t.Fatalf("overrep: %d", resp.StatusCode)
+	}
+	after3 := srv.indexes.Stats()
+	if after3.Builds <= after2.Builds {
+		t.Errorf("overrep built no new index: builds %d -> %d", after2.Builds, after3.Builds)
+	}
+	if after3.Bytes <= 0 || after3.Entries < 2 {
+		t.Errorf("cache stats after traffic: bytes=%d entries=%d", after3.Bytes, after3.Entries)
 	}
 }

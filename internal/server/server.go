@@ -28,9 +28,6 @@ package server
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +38,8 @@ import (
 	"time"
 
 	"cuisinevol/internal/experiment"
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/itemset"
 	"cuisinevol/internal/recipe"
 )
 
@@ -58,6 +57,10 @@ type Options struct {
 	Compute int
 	// CacheBytes is the result-cache budget; <= 0 means 64 MiB.
 	CacheBytes int64
+	// IndexBytes is the corpus-index cache budget — the retained bytes
+	// of prebuilt itemset.Index values shared by the mine, overrep,
+	// evolve and table1 paths; <= 0 means 64 MiB.
+	IndexBytes int64
 	// Corpus, when non-nil, is served instead of a generated one.
 	Corpus *recipe.Corpus
 	// Timeout is the per-request compute deadline for the heavy pipeline
@@ -81,6 +84,7 @@ type Server struct {
 	corpus      *recipe.Corpus
 	fingerprint string
 	cache       *resultCache
+	indexes     *itemset.IndexCache
 	flight      *flightGroup
 	admit       *admission
 	chaos       *chaos
@@ -108,6 +112,9 @@ func New(opts Options) (*Server, error) {
 	if opts.CacheBytes <= 0 {
 		opts.CacheBytes = 64 << 20
 	}
+	if opts.IndexBytes <= 0 {
+		opts.IndexBytes = 64 << 20
+	}
 	switch {
 	case opts.Timeout == 0:
 		opts.Timeout = defaultTimeout
@@ -133,8 +140,9 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:        opts,
 		corpus:      corpus,
-		fingerprint: corpusFingerprint(corpus),
+		fingerprint: corpus.Fingerprint(),
 		cache:       newResultCache(opts.CacheBytes),
+		indexes:     itemset.NewIndexCache(opts.IndexBytes),
 		flight:      newFlightGroup(),
 		admit:       newAdmission(opts.Compute, opts.MaxQueue, shedRetryAfter, m),
 		chaos:       newChaos(opts.Chaos, m),
@@ -190,30 +198,31 @@ func (s *Server) Fingerprint() string { return s.fingerprint }
 // executed — the observable that cache and coalescing tests assert on.
 func (s *Server) Computations() uint64 { return s.metrics.computations.Load() }
 
-// corpusFingerprint hashes the corpus content — every recipe's region
-// and ingredient set in corpus order — so cache keys derive from the
-// data actually served, not from how it was obtained. A corpus loaded
-// from disk and an identical generated one share a fingerprint; any
-// edit changes it.
-func corpusFingerprint(c *recipe.Corpus) string {
-	h := sha256.New()
-	var buf [4]byte
-	for i := 0; i < c.Len(); i++ {
-		r := c.Get(i)
-		h.Write([]byte(r.Region))
-		h.Write([]byte{0})
-		for _, id := range r.Ingredients {
-			binary.LittleEndian.PutUint32(buf[:], uint32(id))
-			h.Write(buf[:])
+// viewIndex returns the shared corpus index for one region slice
+// (region "" is the whole corpus), building and caching it on first
+// use. Every handler that mines or counts document frequencies goes
+// through here, so one build per (corpus, slice) serves all parameter
+// points — and the same keys the experiment harness uses mean a
+// /v1/mine request and a Table I run converge on the same entry.
+func (s *Server) viewIndex(region string, categories bool) (*itemset.Index, error) {
+	key := itemset.IndexKey(s.fingerprint, region, categories)
+	return s.indexes.Get(key, func() ([][]ingredient.ID, error) {
+		view := s.corpus.Region(region)
+		if region == "" {
+			view = s.corpus.AllView()
 		}
-		h.Write([]byte{0xff})
-	}
-	return hex.EncodeToString(h.Sum(nil)[:16])
+		if categories {
+			return view.CategoryTransactions(), nil
+		}
+		return view.Transactions(), nil
+	})
 }
 
 // config builds the per-request experiment configuration. Each request
-// gets a fresh Config sharing the corpus (Config lazily memoizes the
-// corpus; sharing the built one keeps requests from regenerating it).
+// gets a fresh Config sharing the corpus and the index cache (Config
+// lazily memoizes the corpus; sharing the built one keeps requests from
+// regenerating it, and sharing the index cache keeps pipeline runs from
+// rebuilding per-region indexes the handlers already built).
 func (s *Server) config(replicates int) *experiment.Config {
 	cfg := &experiment.Config{
 		Seed:        s.opts.Seed,
@@ -223,6 +232,7 @@ func (s *Server) config(replicates int) *experiment.Config {
 		Workers:     s.opts.Workers,
 	}
 	cfg.SetCorpus(s.corpus)
+	cfg.SetIndexes(s.indexes)
 	return cfg
 }
 
