@@ -5,6 +5,7 @@
 #   make serve           run the HTTP analytics service on :8080
 #   make fuzz            run every fuzz target for FUZZTIME (default 30s) each
 #   make loadtest        race-enabled overload/loadtest suite for the server
+#   make corpus-roundtrip  import → export → re-import fingerprint gate via the CLI
 #   make bench-baseline  full benchmark run, recorded to BENCH_fig_pipeline.json
 #   make bench-smoke     1-iteration benchmark pass (fast; same JSON output)
 
@@ -26,9 +27,9 @@ BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4|EvolveRun|EnsembleReplicates|
 # pooled warm-query path allocation-flat.
 ALLOC_GATE_PATTERN := EvolveRun|EnsembleReplicates|Fig4|MineWarmIndex
 
-.PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline benchgate benchgate-allocs
+.PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline benchgate benchgate-allocs corpus-roundtrip
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke corpus-roundtrip
 
 # ci mirrors .github/workflows/ci.yml exactly: the race detector gates
 # the server's cache/coalescing code.
@@ -57,6 +58,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNormalize -fuzztime $(FUZZTIME) ./internal/textnorm
 	$(GO) test -run '^$$' -fuzz FuzzParseRecipe -fuzztime $(FUZZTIME) ./internal/ingest
 	$(GO) test -run '^$$' -fuzz FuzzMineKernels -fuzztime $(FUZZTIME) ./internal/itemset
+	$(GO) test -run '^$$' -fuzz FuzzImportJSONL -fuzztime $(FUZZTIME) ./internal/corpusstore
+	$(GO) test -run '^$$' -fuzz FuzzImportCSV -fuzztime $(FUZZTIME) ./internal/corpusstore
 
 # loadtest exercises the overload/chaos harness (deadlines, shedding,
 # coalescing under load) with the race detector on — the suite is fully
@@ -85,6 +88,24 @@ BENCH_TOLERANCE ?= 0.15
 benchgate:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... \
 		| $(GO) run ./cmd/benchjson -compare BENCH_fig_pipeline.json -tolerance $(BENCH_TOLERANCE) > /dev/null
+
+# corpus-roundtrip proves the content-addressing contract end to end
+# through the real CLI: import the fixture CSV into one store, export it
+# as re-importable raw records, import those into a second independent
+# store, and require byte-identical fingerprints. Any drift in the
+# importer, the resolution pipeline, the raw exporter, or the
+# fingerprint itself fails the diff.
+RTDIR := $(or $(TMPDIR),/tmp)/cuisinevol-roundtrip
+corpus-roundtrip:
+	rm -rf '$(RTDIR)' && mkdir -p '$(RTDIR)'
+	$(GO) run ./cmd/cuisinevol corpus import -dir '$(RTDIR)/a' -name fixture \
+		-print-fingerprint internal/corpusstore/testdata/corpus_fixture.csv > '$(RTDIR)/fp1'
+	$(GO) run ./cmd/cuisinevol corpus export -dir '$(RTDIR)/a' -raw \
+		-out '$(RTDIR)/export.jsonl' fixture
+	$(GO) run ./cmd/cuisinevol corpus import -dir '$(RTDIR)/b' -name fixture \
+		-print-fingerprint '$(RTDIR)/export.jsonl' > '$(RTDIR)/fp2'
+	diff '$(RTDIR)/fp1' '$(RTDIR)/fp2'
+	@echo "corpus-roundtrip: fingerprint stable at $$(cat '$(RTDIR)/fp1')"
 
 # benchgate-allocs gates only the simulation benchmarks, and only on
 # allocs/op (deterministic, noise-free): >ALLOC_TOLERANCE growth against

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cuisinevol/internal/corpusstore"
+	"cuisinevol/internal/ingest"
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+)
+
+// cmdCorpus manages a durable corpus store on disk — the same layout
+// `serve -corpus-dir` serves from, so corpora imported here are
+// immediately selectable with corpus=<name> once the server points at
+// the directory.
+//
+//	cuisinevol corpus import -dir store -name mydata recipes.jsonl
+//	cuisinevol corpus list -dir store
+//	cuisinevol corpus export -dir store mydata@1 > clean.jsonl
+//	cuisinevol corpus rm -dir store mydata@1
+func cmdCorpus(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: cuisinevol corpus <import|list|export|rm> [flags]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "import":
+		return cmdCorpusImport(rest)
+	case "list", "ls":
+		return cmdCorpusList(rest)
+	case "export":
+		return cmdCorpusExport(rest)
+	case "rm", "delete":
+		return cmdCorpusRm(rest)
+	}
+	return fmt.Errorf("unknown corpus subcommand %q (use import, list, export or rm)", sub)
+}
+
+// openRegistry opens the store directory and its registry.
+func openRegistry(dir string, budgetMB int) (*corpusstore.Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("missing required -dir (the corpus store directory)")
+	}
+	store, err := corpusstore.OpenFS(dir, int64(budgetMB)<<20)
+	if err != nil {
+		return nil, err
+	}
+	if q := store.Quarantined(); len(q) > 0 {
+		fmt.Fprintf(os.Stderr, "cuisinevol corpus: quarantined %d corrupt/orphaned entries: %v\n", len(q), q)
+	}
+	return corpusstore.NewRegistry(store, ingredient.Builtin())
+}
+
+func corpusStoreFlags(name string) (*flag.FlagSet, *string, *int) {
+	fs := flag.NewFlagSet("corpus "+name, flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus store directory (required)")
+	budget := fs.Int("max-corpora-mb", 0, "store byte budget in MiB (0 = unbounded)")
+	return fs, dir, budget
+}
+
+func cmdCorpusImport(args []string) error {
+	fs, dir, budget := corpusStoreFlags("import")
+	name := fs.String("name", "", "name to register the corpus under (required)")
+	format := fs.String("format", "auto", "input format: auto, jsonl or csv")
+	printFP := fs.Bool("print-fingerprint", false, "print only the corpus fingerprint (for scripting)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cuisinevol corpus import -dir DIR -name NAME [flags] FILE (use - for stdin)")
+	}
+	if *name == "" {
+		return fmt.Errorf("missing required -name")
+	}
+	f, err := corpusstore.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		in = file
+	}
+	reg, err := openRegistry(*dir, *budget)
+	if err != nil {
+		return err
+	}
+	res, err := corpusstore.Import(in, corpusstore.ImportOptions{Format: f})
+	if err != nil {
+		return err
+	}
+	if res.Stats.Accepted == 0 {
+		return fmt.Errorf("no records were accepted (%d seen, %d skipped for errors)",
+			res.Stats.RawRecipes, res.Skipped)
+	}
+	info, err := reg.Register(*name, res.Corpus)
+	if err != nil {
+		return err
+	}
+	if *printFP {
+		fmt.Println(info.ID)
+		return nil
+	}
+	st := res.Stats
+	fmt.Printf("registered %s (fingerprint %s)\n", info.Ref(), info.ID)
+	fmt.Printf("  records:    %d seen, %d accepted, %d skipped for errors\n",
+		st.RawRecipes, st.Accepted, res.Skipped)
+	fmt.Printf("  drops:      %d no-region, %d too-small, %d too-large\n",
+		st.DroppedNoRegion, st.DroppedTooSmall, st.DroppedTooLarge)
+	fmt.Printf("  resolution: %d/%d mentions (%.1f%%)\n",
+		st.ResolvedMentions, st.Mentions, 100*st.ResolutionRate())
+	fmt.Printf("  corpus:     %d recipes, %d regions, %d bytes\n",
+		info.Recipes, info.Regions, info.Bytes)
+	for _, issue := range res.ErrorSample {
+		fmt.Printf("  error: record %d (line %d): %s\n", issue.Record, issue.Line, issue.Error)
+	}
+	return nil
+}
+
+func cmdCorpusList(args []string) error {
+	fs, dir, budget := corpusStoreFlags("list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, err := openRegistry(*dir, *budget)
+	if err != nil {
+		return err
+	}
+	infos, err := reg.List()
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Println("no corpora registered")
+		return nil
+	}
+	fmt.Printf("%-24s %-34s %8s %8s %10s\n", "REF", "FINGERPRINT", "RECIPES", "REGIONS", "BYTES")
+	for _, info := range infos {
+		fmt.Printf("%-24s %-34s %8d %8d %10d\n", info.Ref(), info.ID, info.Recipes, info.Regions, info.Bytes)
+	}
+	return nil
+}
+
+func cmdCorpusExport(args []string) error {
+	fs, dir, budget := corpusStoreFlags("export")
+	out := fs.String("out", "-", "output path (- for stdout)")
+	raw := fs.Bool("raw", false, "export re-importable raw records (canonical ingredient names) instead of clean corpus JSONL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cuisinevol corpus export -dir DIR [-out FILE] [-raw] REF")
+	}
+	reg, err := openRegistry(*dir, *budget)
+	if err != nil {
+		return err
+	}
+	corpus, _, err := reg.Resolve(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	if *raw {
+		return writeRawExport(w, corpus)
+	}
+	return corpus.WriteJSONL(w)
+}
+
+// writeRawExport renders the corpus as raw records with canonical
+// ingredient names — the deterministic inverse of import. Canonical
+// names always resolve back to their own entity, and the fingerprint
+// hashes only regions and resolved ingredient IDs, so re-importing the
+// output reproduces the corpus fingerprint exactly (the round trip
+// `make corpus-roundtrip` gates on).
+func writeRawExport(w io.Writer, corpus *recipe.Corpus) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	lex := corpus.Lexicon()
+	var encErr error
+	corpus.AllView().Each(func(r recipe.Recipe) bool {
+		raw := ingest.RawRecipe{
+			Title:       r.Name,
+			Region:      r.Region,
+			Continent:   r.Continent,
+			Country:     r.Country,
+			Ingredients: lex.Names(r.Ingredients),
+		}
+		encErr = enc.Encode(raw)
+		return encErr == nil
+	})
+	if encErr != nil {
+		return fmt.Errorf("corpus export: %w", encErr)
+	}
+	return bw.Flush()
+}
+
+func cmdCorpusRm(args []string) error {
+	fs, dir, budget := corpusStoreFlags("rm")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cuisinevol corpus rm -dir DIR REF")
+	}
+	reg, err := openRegistry(*dir, *budget)
+	if err != nil {
+		return err
+	}
+	info, err := reg.Delete(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deleted %s (fingerprint %s)\n", info.Ref(), info.ID)
+	return nil
+}

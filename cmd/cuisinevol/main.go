@@ -21,6 +21,7 @@
 //	evolve   run one evolution model for a cuisine
 //	resolve  resolve free-text ingredient mentions against the lexicon
 //	serve    run the HTTP analytics service (cached JSON API over every pipeline)
+//	corpus   manage the durable corpus store (import/list/export/rm)
 //
 // Extensions (paper §VII and motivating literature):
 //
@@ -119,6 +120,8 @@ func run(argv []string) int {
 		err = cmdEvolve(ctx, args)
 	case "serve":
 		err = cmdServe(ctx, args)
+	case "corpus":
+		err = cmdCorpus(args)
 	case "resolve":
 		err = cmdResolve(args)
 	case "pairing":
@@ -165,6 +168,7 @@ commands:
   evolve   run one evolution model for a cuisine
   resolve  resolve free-text ingredient mentions against the lexicon
   serve    run the HTTP analytics service (cached JSON API over every pipeline)
+  corpus   manage the durable corpus store (import/list/export/rm)
 
 extensions (paper §VII and motivating literature):
   pairing     food-pairing analysis over synthetic flavor profiles

@@ -9,6 +9,7 @@ import (
 	"os"
 	"time"
 
+	"cuisinevol/internal/corpusstore"
 	"cuisinevol/internal/server"
 )
 
@@ -29,6 +30,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	timeout := cf.fs.Duration("timeout", 2*time.Minute, "per-request compute deadline for heavy endpoints (<= 0 disables)")
 	maxQueue := cf.fs.Int("max-queue", 0, "max computations queued for a compute slot before shedding (0 = 4x compute, < 0 = no queue)")
 	drain := cf.fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	corpusDir := cf.fs.String("corpus-dir", "", "durable corpus store directory (empty = in-memory store)")
+	maxCorporaMB := cf.fs.Int("max-corpora-mb", 0, "corpus store byte budget in MiB (0 = unbounded)")
 	if err := cf.fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +58,29 @@ func cmdServe(ctx context.Context, args []string) error {
 		}
 		opts.Corpus = corpus
 	}
+	// The registry backs /v1/corpora and corpus= selection. With
+	// -corpus-dir it is durable: corpora imported here (or via the
+	// `cuisinevol corpus` subcommands against the same directory) survive
+	// restarts. Without it, uploads live only as long as the process.
+	budget := int64(*maxCorporaMB) << 20
+	var store corpusstore.Store
+	if *corpusDir != "" {
+		fsStore, err := corpusstore.OpenFS(*corpusDir, budget)
+		if err != nil {
+			return err
+		}
+		if q := fsStore.Quarantined(); len(q) > 0 {
+			fmt.Fprintf(os.Stderr, "cuisinevol serve: quarantined %d corrupt/orphaned corpus entries: %v\n", len(q), q)
+		}
+		store = fsStore
+	} else {
+		store = corpusstore.NewMemStore(budget)
+	}
+	registry, err := corpusstore.NewRegistry(store, nil)
+	if err != nil {
+		return err
+	}
+	opts.Registry = registry
 	srv, err := server.New(opts)
 	if err != nil {
 		return err

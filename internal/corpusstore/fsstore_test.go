@@ -1,0 +1,160 @@
+package corpusstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testID(b byte) string { return strings.Repeat(string([]byte{b, b}), 16) }
+
+func TestFSStoreCRUDAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, idB := testID('a'), testID('b')
+	if err := s.Put(Info{ID: idA, Name: "synth", Version: 1}, []byte("aaa\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Info{ID: idB, Name: "synth", Version: 2}, []byte("bbbb\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the manifest is the durable source of truth.
+	s2, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := s2.Quarantined(); len(q) != 0 {
+		t.Fatalf("clean restart quarantined %v", q)
+	}
+	data, info, err := s2.Get(idA)
+	if err != nil || string(data) != "aaa\n" || info.Ref() != "synth@1" {
+		t.Fatalf("Get after restart = (%q, %+v, %v)", data, info, err)
+	}
+	if used, n := s2.Bytes(); used != 9 || n != 2 {
+		t.Fatalf("Bytes after restart = (%d, %d), want (9, 2)", used, n)
+	}
+	if err := s2.Delete(idA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, corporaDir, idA+payloadExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("deleted payload still on disk")
+	}
+
+	// Third open sees only the survivor.
+	s3, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, _ := s3.List()
+	if len(infos) != 1 || infos[0].ID != idB {
+		t.Fatalf("List after delete+restart = %v", infos)
+	}
+}
+
+func TestFSStoreQuarantinesCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, idB := testID('a'), testID('b')
+	if err := s.Put(Info{ID: idA, Name: "good", Version: 1}, []byte("good\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Info{ID: idB, Name: "bad", Version: 1}, []byte("bad\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate one payload behind the store's back.
+	if err := os.WriteFile(filepath.Join(dir, corporaDir, idB+payloadExt), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := s2.Quarantined(); len(q) != 1 || q[0] != idB {
+		t.Fatalf("Quarantined = %v, want [%s]", q, idB)
+	}
+	if _, _, err := s2.Get(idB); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get quarantined entry = %v, want ErrNotFound", err)
+	}
+	if _, _, err := s2.Get(idA); err != nil {
+		t.Fatalf("healthy entry lost: %v", err)
+	}
+	// The bad payload was moved aside, not destroyed.
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, idB+payloadExt)); err != nil {
+		t.Fatalf("quarantined payload missing: %v", err)
+	}
+	// The rewritten manifest no longer lists it, so a third open is clean.
+	s3, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := s3.Quarantined(); len(q) != 0 {
+		t.Fatalf("third open re-quarantined %v", q)
+	}
+}
+
+func TestFSStoreQuarantinesCorruptManifestAndOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testID('c')
+	if err := s.Put(Info{ID: id, Name: "synth", Version: 1}, []byte("data\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFS(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the manifest and the now-orphaned payload are parked.
+	q := s2.Quarantined()
+	if len(q) != 2 {
+		t.Fatalf("Quarantined = %v, want manifest + orphan", q)
+	}
+	if used, n := s2.Bytes(); used != 0 || n != 0 {
+		t.Fatalf("store not empty after corrupt manifest: (%d, %d)", used, n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, manifestName+".corrupt")); err != nil {
+		t.Fatalf("corrupt manifest not preserved: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, id+payloadExt)); err != nil {
+		t.Fatalf("orphan payload not preserved: %v", err)
+	}
+}
+
+func TestFSStoreBudget(t *testing.T) {
+	s, err := OpenFS(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Info{ID: testID('d')}, []byte("12345")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over-budget Put = %v, want ErrTooLarge", err)
+	}
+	if err := s.Put(Info{ID: testID('d')}, []byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSStoreRejectsMalformedID(t *testing.T) {
+	s, err := OpenFS(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Info{ID: "../escape"}, []byte("x")); err == nil {
+		t.Fatal("path-traversal ID accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package corpusstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzImport drives Import over arbitrary input in the given format and
+// checks the invariants that hold for every input:
+//
+//   - no panic (the fuzz engine's baseline property);
+//   - on success the result is complete and self-consistent (corpus
+//     present, accepted count matches, error sample bounded by its cap
+//     and by the skip count);
+//   - the corpus fingerprint is deterministic: serializing the imported
+//     corpus and reloading it yields the same fingerprint (the
+//     content-addressing contract the store and caches key on).
+func fuzzImport(t *testing.T, data []byte, format Format) {
+	// Tight limits keep each execution cheap and exercise the
+	// record/total byte-budget paths constantly.
+	opts := ImportOptions{
+		Format:         format,
+		MaxRecordBytes: 4 << 10,
+		MaxTotalBytes:  64 << 10,
+		MaxErrorSample: 4,
+	}
+	res, err := Import(bytes.NewReader(data), opts)
+	if err != nil {
+		return // typed rejection of malformed/oversized input is fine
+	}
+	if res.Corpus == nil {
+		t.Fatal("Import returned nil corpus with nil error")
+	}
+	if got, want := res.Corpus.Len(), res.Stats.Accepted; got != want {
+		t.Fatalf("corpus holds %d recipes, stats accepted %d", got, want)
+	}
+	if len(res.ErrorSample) > opts.MaxErrorSample {
+		t.Fatalf("error sample %d exceeds cap %d", len(res.ErrorSample), opts.MaxErrorSample)
+	}
+	if len(res.ErrorSample) > res.Skipped {
+		t.Fatalf("error sample %d exceeds skipped %d", len(res.ErrorSample), res.Skipped)
+	}
+	for _, issue := range res.ErrorSample {
+		if issue.Record < 1 || issue.Line < 1 {
+			t.Fatalf("error sample has non-positive record/line: %+v", issue)
+		}
+	}
+	if res.Stats.Accepted == 0 {
+		return
+	}
+	// Round-trip determinism: the serialized corpus must reload to the
+	// same content address.
+	var buf bytes.Buffer
+	if err := res.Corpus.WriteJSONL(&buf); err != nil {
+		t.Fatalf("serializing imported corpus: %v", err)
+	}
+	reg, err := NewRegistry(NewMemStore(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := reg.Register("fuzz", res.Corpus)
+	if err != nil {
+		t.Fatalf("registering imported corpus: %v", err)
+	}
+	if info.ID != res.Corpus.Fingerprint() {
+		t.Fatalf("registered ID %s != fingerprint %s", info.ID, res.Corpus.Fingerprint())
+	}
+	reloaded, _, err := reg.Resolve(info.ID)
+	if err != nil {
+		t.Fatalf("reloading imported corpus: %v", err)
+	}
+	if reloaded.Fingerprint() != res.Corpus.Fingerprint() {
+		t.Fatalf("fingerprint changed across store round trip: %s != %s",
+			reloaded.Fingerprint(), res.Corpus.Fingerprint())
+	}
+}
+
+func FuzzImportJSONL(f *testing.F) {
+	f.Add([]byte(`{"region":"ITA","ingredients":["tomato","basil"]}` + "\n"))
+	f.Add([]byte(`{"region":"KOR","ingredients":["rice","garlic","sesame oil"]}` + "\n" +
+		`{"region":123,"ingredients":["broken"]}` + "\n"))
+	f.Add([]byte("\ufeff  \n{\"region\":\"FRA\",\"ingredients\":[\"butter\",\"flour\"]}\n"))
+	f.Add([]byte(`{"region":"ITA","ingredients":[` + strings.Repeat(`"tomato",`, 50) + `"basil"]}`))
+	f.Add([]byte("{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzImport(t, data, FormatJSONL)
+		// The same bytes through the sniffer must never panic either
+		// (they may parse differently — '{' routes to JSONL, the rest
+		// to CSV).
+		fuzzImport(t, data, FormatAuto)
+	})
+}
+
+func FuzzImportCSV(f *testing.F) {
+	f.Add([]byte("region,ingredients\nITA,tomato|basil\nKOR,rice|garlic\n"))
+	f.Add([]byte("title,region,country,ingredients\nragu,ITA,Italy,tomato|beef|red wine\n"))
+	f.Add([]byte("region,ingredients\nITA,\"tomato|basil\n"))     // bare quote mid-stream
+	f.Add([]byte("\ufeffregion,ingredients\nFRA,butter|flour\n")) // BOM header
+	f.Add([]byte("ingredients\ntomato|basil\n"))                  // missing region column
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzImport(t, data, FormatCSV)
+	})
+}

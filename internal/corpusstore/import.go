@@ -1,0 +1,265 @@
+package corpusstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"cuisinevol/internal/ingest"
+	"cuisinevol/internal/recipe"
+)
+
+// Format selects the raw input encoding for Import.
+type Format int
+
+const (
+	// FormatAuto sniffs the first non-space byte: '{' is JSONL,
+	// anything else is CSV.
+	FormatAuto Format = iota
+	// FormatJSONL is JSON Lines raw records (ingest.RawRecipe objects).
+	FormatJSONL
+	// FormatCSV is headered CSV with region and ingredients columns.
+	FormatCSV
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatJSONL:
+		return "jsonl"
+	case FormatCSV:
+		return "csv"
+	default:
+		return "auto"
+	}
+}
+
+// ParseFormat maps a user-facing format name to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "auto":
+		return FormatAuto, nil
+	case "jsonl", "json":
+		return FormatJSONL, nil
+	case "csv":
+		return FormatCSV, nil
+	default:
+		return FormatAuto, fmt.Errorf("corpusstore: unknown import format %q (want auto, jsonl, or csv)", s)
+	}
+}
+
+// Default import limits. MaxRecordBytes rejects single records larger
+// than 1 MiB of input; MaxTotalBytes aborts imports larger than 256 MiB.
+const (
+	DefaultMaxRecordBytes int64 = 1 << 20
+	DefaultMaxTotalBytes  int64 = 256 << 20
+	DefaultMaxErrorSample       = 10
+)
+
+// ImportOptions configures a streaming import. The zero value
+// auto-detects the format and applies the default limits.
+type ImportOptions struct {
+	Format Format
+	// Ingest configures the resolution pipeline (lexicon, ingredient
+	// bounds); the zero value selects the paper's defaults.
+	Ingest ingest.Options
+	// MaxRecordBytes bounds the input bytes one record may span
+	// (default DefaultMaxRecordBytes; < 0 disables). Oversize records
+	// are skipped and sampled, not fatal.
+	MaxRecordBytes int64
+	// MaxTotalBytes bounds the total input size (default
+	// DefaultMaxTotalBytes; < 0 disables). Exceeding it aborts the
+	// import with ErrTooLarge.
+	MaxTotalBytes int64
+	// MaxErrorSample caps how many per-record failures are retained in
+	// Result.ErrorSample (default DefaultMaxErrorSample; < 0 disables
+	// sampling). Skipped counts all of them regardless.
+	MaxErrorSample int
+}
+
+func (o *ImportOptions) defaults() {
+	if o.MaxRecordBytes == 0 {
+		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if o.MaxTotalBytes == 0 {
+		o.MaxTotalBytes = DefaultMaxTotalBytes
+	}
+	if o.MaxErrorSample == 0 {
+		o.MaxErrorSample = DefaultMaxErrorSample
+	}
+}
+
+// RecordIssue is one sampled per-record import failure, serialized into
+// the POST /v1/corpora response so clients can fix their data without
+// grepping server logs.
+type RecordIssue struct {
+	Record int    `json:"record"` // 1-based record ordinal
+	Line   int    `json:"line"`   // 1-based input line
+	Error  string `json:"error"`
+}
+
+// Result is what a completed import produced: the corpus (not yet
+// registered), the resolution statistics, and the per-record failures
+// that were skipped along the way.
+type Result struct {
+	Corpus      *recipe.Corpus
+	Stats       ingest.Stats
+	Skipped     int // records dropped for per-record errors (decode failures, oversize)
+	ErrorSample []RecordIssue
+}
+
+// Import streams raw recipe records from r through the resolution
+// pipeline into a corpus, holding only the current record in memory.
+// Recoverable per-record failures (malformed rows, wrong-shape JSON
+// values, oversize records) are counted, sampled, and skipped; stream
+// poison (JSON syntax errors, I/O failures) and the total-size limit
+// abort the import.
+func Import(r io.Reader, opts ImportOptions) (*Result, error) {
+	opts.defaults()
+
+	br := bufio.NewReader(r)
+	format := opts.Format
+	if format == FormatAuto {
+		f, err := sniffFormat(br)
+		if err != nil {
+			return nil, err
+		}
+		format = f
+	}
+
+	var in io.Reader = br
+	if opts.MaxTotalBytes > 0 {
+		in = &cappedReader{r: br, remaining: opts.MaxTotalBytes}
+	}
+
+	var (
+		rr  ingest.RecordReader
+		err error
+	)
+	switch format {
+	case FormatJSONL:
+		rr = ingest.NewRawJSONLReader(in)
+	case FormatCSV:
+		rr, err = ingest.NewRawCSVReader(in)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("corpusstore: unsupported import format %v", format)
+	}
+
+	g, err := ingest.NewIngester(opts.Ingest)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	sample := func(record, line int, err error) {
+		res.Skipped++
+		if opts.MaxErrorSample > 0 && len(res.ErrorSample) < opts.MaxErrorSample {
+			res.ErrorSample = append(res.ErrorSample, RecordIssue{Record: record, Line: line, Error: err.Error()})
+		}
+	}
+
+	prevOff := rr.InputOffset()
+	for {
+		raw, err := rr.Next()
+		off := rr.InputOffset()
+		size := off - prevOff
+		prevOff = off
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var re *ingest.RecordError
+			if errors.As(err, &re) {
+				sample(re.Record, re.Line, re.Err)
+				continue
+			}
+			if errors.Is(err, errTotalBudget) {
+				return nil, fmt.Errorf("%w: import exceeds the %d-byte input limit",
+					ErrTooLarge, opts.MaxTotalBytes)
+			}
+			return nil, fmt.Errorf("corpusstore: import: %w", err)
+		}
+		if opts.MaxRecordBytes > 0 && size > opts.MaxRecordBytes {
+			sample(rr.Record(), rr.Line(), fmt.Errorf("record spans %d input bytes (limit %d)", size, opts.MaxRecordBytes))
+			continue
+		}
+		if _, err := g.Record(raw); err != nil {
+			// Corpus validation rejections are data problems, not stream
+			// problems: skip and sample like any other record failure.
+			sample(rr.Record(), rr.Line(), err)
+		}
+	}
+
+	res.Corpus = g.Corpus()
+	res.Stats = g.Stats()
+	return res, nil
+}
+
+// sniffFormat peeks past leading whitespace (and a UTF-8 BOM) to pick
+// the input format: JSONL starts with '{'.
+func sniffFormat(br *bufio.Reader) (Format, error) {
+	if bom, err := br.Peek(3); err == nil && string(bom) == "\xef\xbb\xbf" {
+		// Leave the BOM in place for the CSV reader (it strips it from
+		// the first header cell); peek past it for sniffing only.
+		if rest, err := br.Peek(4); err == nil {
+			if rest[3] == '{' {
+				return FormatJSONL, nil
+			}
+			return FormatCSV, nil
+		}
+	}
+	for skip := 0; ; {
+		buf, err := br.Peek(skip + 1)
+		if err != nil {
+			if err == io.EOF {
+				return FormatAuto, fmt.Errorf("corpusstore: empty import input")
+			}
+			return FormatAuto, fmt.Errorf("corpusstore: sniffing import format: %w", err)
+		}
+		switch c := buf[skip]; c {
+		case ' ', '\t', '\r', '\n':
+			skip++
+		case '{':
+			return FormatJSONL, nil
+		default:
+			return FormatCSV, nil
+		}
+	}
+}
+
+// errTotalBudget marks the cappedReader tripping its limit, so Import
+// can translate it into ErrTooLarge with context.
+var errTotalBudget = errors.New("input byte budget exceeded")
+
+// cappedReader fails the stream once more than remaining bytes have
+// been read, turning an oversized upload into a typed abort instead of
+// an unbounded ingest.
+type cappedReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if c.remaining <= 0 {
+		// Budget consumed: distinguish exactly-at-limit input (clean
+		// EOF) from excess by probing one more byte.
+		var one [1]byte
+		n, err := c.r.Read(one[:])
+		if n > 0 {
+			return 0, errTotalBudget
+		}
+		return 0, err
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	return n, err
+}

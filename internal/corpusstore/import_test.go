@@ -1,0 +1,125 @@
+package corpusstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const importJSONL = `{"title":"Margherita","region":"ITA","ingredients":["tomato","basil","garlic"]}
+{"title":"Bibimbap","region":"KOR","ingredients":["rice","garlic","egg"]}
+`
+
+const importCSV = `name,country,region,ingredients
+Margherita,Italy,ITA,tomato|basil|garlic
+Bibimbap,Korea,KOR,rice|garlic|egg
+`
+
+func TestImportJSONL(t *testing.T) {
+	res, err := Import(strings.NewReader(importJSONL), ImportOptions{Format: FormatJSONL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus.Len() != 2 || res.Stats.Accepted != 2 || res.Skipped != 0 {
+		t.Fatalf("result = corpus %d, stats %+v, skipped %d", res.Corpus.Len(), res.Stats, res.Skipped)
+	}
+}
+
+func TestImportAutoDetect(t *testing.T) {
+	jres, err := Import(strings.NewReader(importJSONL), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := Import(strings.NewReader(importCSV), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same recipes through either codec produce the same corpus identity.
+	if jres.Corpus.Fingerprint() != cres.Corpus.Fingerprint() {
+		t.Fatalf("JSONL fingerprint %s != CSV fingerprint %s",
+			jres.Corpus.Fingerprint(), cres.Corpus.Fingerprint())
+	}
+	// Leading whitespace must not confuse the sniffer.
+	if _, err := Import(strings.NewReader("\n\n"+importJSONL), ImportOptions{}); err != nil {
+		t.Fatalf("whitespace-prefixed JSONL: %v", err)
+	}
+	if _, err := Import(strings.NewReader(""), ImportOptions{}); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+func TestImportSkipsBadRecordsWithSample(t *testing.T) {
+	input := `{"region":"ITA","ingredients":["tomato","basil"]}` + "\n" +
+		`"not an object"` + "\n" +
+		`[1,2]` + "\n" +
+		`{"region":"KOR","ingredients":["rice","garlic"]}` + "\n"
+	res, err := Import(strings.NewReader(input), ImportOptions{MaxErrorSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus.Len() != 2 {
+		t.Fatalf("corpus len = %d, want 2", res.Corpus.Len())
+	}
+	if res.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", res.Skipped)
+	}
+	if len(res.ErrorSample) != 1 {
+		t.Fatalf("sample len = %d, want 1 (capped)", len(res.ErrorSample))
+	}
+	if got := res.ErrorSample[0]; got.Record != 2 || got.Line != 2 || got.Error == "" {
+		t.Fatalf("sample = %+v", got)
+	}
+}
+
+func TestImportSyntaxErrorAborts(t *testing.T) {
+	input := `{"region":"ITA","ingredients":["tomato","basil"]}` + "\n" +
+		`{"region":` + "\n"
+	if _, err := Import(strings.NewReader(input), ImportOptions{}); err == nil {
+		t.Fatal("stream poison must abort the import")
+	}
+}
+
+func TestImportRecordSizeLimit(t *testing.T) {
+	big := `{"region":"ITA","ingredients":["tomato","basil"],"instructions":"` +
+		strings.Repeat("x", 600) + `"}`
+	input := big + "\n" + `{"region":"KOR","ingredients":["rice","garlic"]}` + "\n"
+	res, err := Import(strings.NewReader(input), ImportOptions{MaxRecordBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus.Len() != 1 || res.Skipped != 1 {
+		t.Fatalf("corpus %d, skipped %d; want 1, 1", res.Corpus.Len(), res.Skipped)
+	}
+	if len(res.ErrorSample) != 1 || !strings.Contains(res.ErrorSample[0].Error, "limit") {
+		t.Fatalf("sample = %+v", res.ErrorSample)
+	}
+}
+
+func TestImportTotalSizeLimit(t *testing.T) {
+	_, err := Import(strings.NewReader(importJSONL), ImportOptions{MaxTotalBytes: 32})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over-limit import = %v, want ErrTooLarge", err)
+	}
+	// Exactly-at-limit input must import cleanly (no off-by-one abort).
+	if _, err := Import(strings.NewReader(importJSONL),
+		ImportOptions{MaxTotalBytes: int64(len(importJSONL))}); err != nil {
+		t.Fatalf("exactly-at-limit import = %v", err)
+	}
+}
+
+func TestImportCSVSkipsBadRows(t *testing.T) {
+	input := "region,ingredients\n" +
+		"ITA,tomato|basil\n" +
+		"KOR\n" + // too few fields is fine (missing cells read empty) — dropped as no-ingredient
+		"USA,tomato|garlic\n"
+	res, err := Import(strings.NewReader(input), ImportOptions{Format: FormatCSV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus.Len() != 2 {
+		t.Fatalf("corpus len = %d, want 2", res.Corpus.Len())
+	}
+	if res.Stats.DroppedTooSmall != 1 {
+		t.Fatalf("stats = %+v, want one too-small drop", res.Stats)
+	}
+}

@@ -1,0 +1,328 @@
+package corpusstore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"cuisinevol/internal/ingredient"
+	"cuisinevol/internal/recipe"
+)
+
+// RegistryStats is a snapshot of a Registry's counters, exposed on
+// /metrics next to the result- and index-cache families.
+type RegistryStats struct {
+	Loads         uint64 // store loads executed (singleflight-deduplicated)
+	LoadHits      uint64 // Resolves served from a memoized corpus
+	LoadMisses    uint64 // Resolves that had to load (or join an in-flight load)
+	LoadedBytes   int64  // serialized bytes of memoized corpora
+	LoadedEntries int    // memoized corpora
+	Puts          uint64 // corpora registered (distinct content)
+	Deletes       uint64 // corpora deleted
+	StoreBytes    int64  // payload bytes in the backing store
+	StoreEntries  int    // corpora in the backing store
+}
+
+// Registry owns named corpora on top of a content-addressed Store. It
+// assigns name@version bindings at registration, resolves references
+// (name, name@version, or raw fingerprint), and memoizes loaded
+// *recipe.Corpus values behind singleflight so concurrent requests for
+// a cold corpus trigger exactly one store read + parse.
+//
+// Loaded corpora are immutable; a Delete drops the memo entry and the
+// stored bytes but never touches a loaded corpus another request still
+// pins, so in-flight work completes against the version it resolved.
+// Safe for concurrent use.
+type Registry struct {
+	store Store
+	lex   *ingredient.Lexicon
+
+	mu       sync.Mutex
+	versions map[string]map[int]string // name -> version -> id
+	loaded   map[string]*loadedCorpus  // id -> memoized corpus
+	flight   map[string]*loadCall      // id -> in-flight load
+
+	loads, loadHits, loadMisses, puts, deletes uint64
+	loadedBytes                                int64
+}
+
+type loadedCorpus struct {
+	corpus *recipe.Corpus
+	bytes  int64
+}
+
+// loadCall is one in-flight load; waiters block on done.
+type loadCall struct {
+	done   chan struct{}
+	corpus *recipe.Corpus
+	info   Info
+	err    error
+}
+
+// NewRegistry builds a registry over store, rebuilding the name table
+// from the store's manifest (so an FSStore-backed registry comes up
+// warm after a restart). lex nil selects the built-in lexicon.
+func NewRegistry(store Store, lex *ingredient.Lexicon) (*Registry, error) {
+	if lex == nil {
+		lex = ingredient.Builtin()
+	}
+	infos, err := store.List()
+	if err != nil {
+		return nil, fmt.Errorf("corpusstore: listing store: %w", err)
+	}
+	r := &Registry{
+		store:    store,
+		lex:      lex,
+		versions: make(map[string]map[int]string),
+		loaded:   make(map[string]*loadedCorpus),
+		flight:   make(map[string]*loadCall),
+	}
+	for _, info := range infos {
+		if err := ValidateName(info.Name); err != nil || info.Version < 1 {
+			continue // quarantine-grade manifest entry; skip the binding
+		}
+		byVersion := r.versions[info.Name]
+		if byVersion == nil {
+			byVersion = make(map[int]string)
+			r.versions[info.Name] = byVersion
+		}
+		byVersion[info.Version] = info.ID
+	}
+	return r, nil
+}
+
+// Store returns the backing store.
+func (r *Registry) Store() Store { return r.store }
+
+// Lexicon returns the lexicon corpora are resolved against.
+func (r *Registry) Lexicon() *ingredient.Lexicon { return r.lex }
+
+// Register serializes corpus, stores it under its content fingerprint,
+// and binds name@<next version> to it. Registering content that is
+// already stored is idempotent when the name matches (the existing Info
+// is returned — no new version is minted) and ErrNameTaken when it is
+// bound to a different name, keeping the content-addressed store a
+// function from ID to one binding.
+func (r *Registry) Register(name string, corpus *recipe.Corpus) (Info, error) {
+	if err := ValidateName(name); err != nil {
+		return Info{}, err
+	}
+	id := corpus.Fingerprint()
+
+	r.mu.Lock()
+	if existing, err := r.store.Stat(id); err == nil {
+		r.mu.Unlock()
+		if existing.Name == name {
+			return existing, nil
+		}
+		return Info{}, fmt.Errorf("%w: content %s is already registered as %s",
+			ErrNameTaken, id, existing.Ref())
+	}
+	version := 1
+	for v := range r.versions[name] {
+		if v >= version {
+			version = v + 1
+		}
+	}
+	r.mu.Unlock()
+
+	// Serialize outside the lock — corpora run to tens of megabytes.
+	var buf bytes.Buffer
+	if err := corpus.WriteJSONL(&buf); err != nil {
+		return Info{}, fmt.Errorf("corpusstore: serializing corpus: %w", err)
+	}
+	info := Info{
+		ID:      id,
+		Name:    name,
+		Version: version,
+		Recipes: corpus.Len(),
+		Regions: len(corpus.Regions()),
+		Bytes:   int64(buf.Len()),
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Re-check under the lock: a concurrent Register of the same
+	// content may have landed while we serialized.
+	if existing, err := r.store.Stat(id); err == nil {
+		if existing.Name == name {
+			return existing, nil
+		}
+		return Info{}, fmt.Errorf("%w: content %s is already registered as %s",
+			ErrNameTaken, id, existing.Ref())
+	}
+	for v := range r.versions[name] {
+		if v >= version {
+			version = v + 1
+		}
+	}
+	info.Version = version
+	if err := r.store.Put(info, buf.Bytes()); err != nil {
+		return Info{}, err
+	}
+	byVersion := r.versions[name]
+	if byVersion == nil {
+		byVersion = make(map[int]string)
+		r.versions[name] = byVersion
+	}
+	byVersion[version] = id
+	// The registered corpus is hot by construction — memoize it so the
+	// first request for it doesn't reload what we just serialized.
+	if _, ok := r.loaded[id]; !ok {
+		r.loaded[id] = &loadedCorpus{corpus: corpus, bytes: info.Bytes}
+		r.loadedBytes += info.Bytes
+	}
+	r.puts++
+	return info, nil
+}
+
+// resolveID maps a reference to the stored corpus ID it names.
+// Resolution rules (DESIGN.md §13): a 32-hex-char reference is a raw
+// fingerprint; otherwise it is name or name@version, where a bare name
+// selects the highest registered version.
+func (r *Registry) resolveID(ref string) (string, error) {
+	name, version, id, err := parseRef(ref)
+	if err != nil {
+		return "", err
+	}
+	if id != "" {
+		return id, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byVersion := r.versions[name]
+	if len(byVersion) == 0 {
+		return "", fmt.Errorf("%w: no corpus named %q", ErrNotFound, name)
+	}
+	if version == 0 {
+		for v := range byVersion {
+			if v > version {
+				version = v
+			}
+		}
+	}
+	id, ok := byVersion[version]
+	if !ok {
+		return "", fmt.Errorf("%w: %s@%d (registered versions differ)", ErrNotFound, name, version)
+	}
+	return id, nil
+}
+
+// Resolve returns the corpus a reference names, loading and memoizing
+// it on first use. Concurrent Resolves of a cold corpus share one
+// load; the loaded corpus is verified against its content fingerprint
+// (mismatch is ErrCorrupt and nothing is memoized).
+func (r *Registry) Resolve(ref string) (*recipe.Corpus, Info, error) {
+	id, err := r.resolveID(ref)
+	if err != nil {
+		return nil, Info{}, err
+	}
+
+	r.mu.Lock()
+	if lc, ok := r.loaded[id]; ok {
+		// The memo can outlive the store entry (delete-while-pinned);
+		// report whatever Info the store still has, falling back to a
+		// minimal one.
+		info, serr := r.store.Stat(id)
+		if serr != nil {
+			info = Info{ID: id, Recipes: lc.corpus.Len(), Regions: len(lc.corpus.Regions()), Bytes: lc.bytes}
+		}
+		r.loadHits++
+		r.mu.Unlock()
+		return lc.corpus, info, nil
+	}
+	r.loadMisses++
+	if call, ok := r.flight[id]; ok {
+		r.mu.Unlock()
+		<-call.done
+		return call.corpus, call.info, call.err
+	}
+	call := &loadCall{done: make(chan struct{})}
+	r.flight[id] = call
+	r.loads++
+	r.mu.Unlock()
+
+	call.corpus, call.info, call.err = r.load(id)
+	close(call.done)
+
+	r.mu.Lock()
+	delete(r.flight, id)
+	if call.err == nil {
+		if _, ok := r.loaded[id]; !ok {
+			r.loaded[id] = &loadedCorpus{corpus: call.corpus, bytes: call.info.Bytes}
+			r.loadedBytes += call.info.Bytes
+		}
+	}
+	r.mu.Unlock()
+	return call.corpus, call.info, call.err
+}
+
+// load reads and parses one corpus from the store, verifying content
+// addressing end to end: the parsed corpus must reproduce the ID it
+// was stored under.
+func (r *Registry) load(id string) (*recipe.Corpus, Info, error) {
+	data, info, err := r.store.Get(id)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	corpus, err := recipe.ReadJSONL(bytes.NewReader(data), r.lex)
+	if err != nil {
+		return nil, Info{}, fmt.Errorf("%w: %s does not parse: %v", ErrCorrupt, id, err)
+	}
+	if got := corpus.Fingerprint(); got != id {
+		return nil, Info{}, fmt.Errorf("%w: %s loads with fingerprint %s", ErrCorrupt, id, got)
+	}
+	return corpus, info, nil
+}
+
+// List returns every registered corpus, sorted by (Name, Version).
+func (r *Registry) List() ([]Info, error) { return r.store.List() }
+
+// Delete removes the corpus a reference names from the store and drops
+// its binding and memo entry. Loaded corpora held by in-flight requests
+// stay valid — the memory is released when the last holder lets go.
+func (r *Registry) Delete(ref string) (Info, error) {
+	id, err := r.resolveID(ref)
+	if err != nil {
+		return Info{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info, err := r.store.Stat(id)
+	if err != nil {
+		return Info{}, err
+	}
+	if err := r.store.Delete(id); err != nil {
+		return Info{}, err
+	}
+	if byVersion := r.versions[info.Name]; byVersion != nil {
+		delete(byVersion, info.Version)
+		if len(byVersion) == 0 {
+			delete(r.versions, info.Name)
+		}
+	}
+	if lc, ok := r.loaded[id]; ok {
+		r.loadedBytes -= lc.bytes
+		delete(r.loaded, id)
+	}
+	r.deletes++
+	return info, nil
+}
+
+// Stats returns a snapshot of the registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	storeBytes, storeEntries := r.store.Bytes()
+	return RegistryStats{
+		Loads:         r.loads,
+		LoadHits:      r.loadHits,
+		LoadMisses:    r.loadMisses,
+		LoadedBytes:   r.loadedBytes,
+		LoadedEntries: len(r.loaded),
+		Puts:          r.puts,
+		Deletes:       r.deletes,
+		StoreBytes:    storeBytes,
+		StoreEntries:  storeEntries,
+	}
+}

@@ -1,0 +1,98 @@
+package corpusstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateName(t *testing.T) {
+	for _, name := range []string{"synth", "my-corpus", "v2.data", "a", "x_1"} {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", name, err)
+		}
+	}
+	bad := []string{"", "UPPER", "-lead", ".lead", "has space", "a/b",
+		strings.Repeat("x", 65),
+		"0123456789abcdef0123456789abcdef", // fingerprint-shaped
+	}
+	for _, name := range bad {
+		if err := ValidateName(name); !errors.Is(err, ErrBadName) {
+			t.Errorf("ValidateName(%q) = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	id := "0123456789abcdef0123456789abcdef"
+	if name, v, gotID, err := parseRef(id); err != nil || gotID != id || name != "" || v != 0 {
+		t.Fatalf("parseRef(fingerprint) = (%q, %d, %q, %v)", name, v, gotID, err)
+	}
+	if name, v, gotID, err := parseRef("synth"); err != nil || name != "synth" || v != 0 || gotID != "" {
+		t.Fatalf("parseRef(name) = (%q, %d, %q, %v)", name, v, gotID, err)
+	}
+	if name, v, _, err := parseRef("synth@3"); err != nil || name != "synth" || v != 3 {
+		t.Fatalf("parseRef(name@3) = (%q, %d, _, %v)", name, v, err)
+	}
+	for _, ref := range []string{"", "synth@0", "synth@-1", "synth@1x", "synth@", "UP@1", "@2"} {
+		if _, _, _, err := parseRef(ref); !errors.Is(err, ErrBadRef) {
+			t.Errorf("parseRef(%q) = %v, want ErrBadRef", ref, err)
+		}
+	}
+}
+
+func TestMemStoreCRUD(t *testing.T) {
+	s := NewMemStore(0)
+	id := strings.Repeat("ab", 16)
+	info := Info{ID: id, Name: "synth", Version: 1, Recipes: 3, Regions: 2}
+	data := []byte("payload\n")
+	if err := s.Put(info, data); err != nil {
+		t.Fatal(err)
+	}
+	got, gotInfo, err := s.Get(id)
+	if err != nil || string(got) != string(data) || gotInfo.Name != "synth" {
+		t.Fatalf("Get = (%q, %+v, %v)", got, gotInfo, err)
+	}
+	got[0] = 'X' // mutating the returned slice must not touch the store
+	if again, _, _ := s.Get(id); string(again) != string(data) {
+		t.Fatal("Get returned aliased storage")
+	}
+	if gotInfo.Bytes != int64(len(data)) {
+		t.Fatalf("Bytes = %d, want %d", gotInfo.Bytes, len(data))
+	}
+	if used, n := s.Bytes(); used != int64(len(data)) || n != 1 {
+		t.Fatalf("Bytes() = (%d, %d)", used, n)
+	}
+	infos, err := s.List()
+	if err != nil || len(infos) != 1 || infos[0].ID != id {
+		t.Fatalf("List = (%v, %v)", infos, err)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+	if used, n := s.Bytes(); used != 0 || n != 0 {
+		t.Fatalf("Bytes() after delete = (%d, %d)", used, n)
+	}
+}
+
+func TestMemStoreBudget(t *testing.T) {
+	s := NewMemStore(10)
+	idA := strings.Repeat("aa", 16)
+	idB := strings.Repeat("bb", 16)
+	if err := s.Put(Info{ID: idA}, []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Info{ID: idB}, []byte("123")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over-budget Put = %v, want ErrTooLarge", err)
+	}
+	// Replacing the same ID is charged as a delta, not a fresh entry.
+	if err := s.Put(Info{ID: idA}, []byte("1234567890")); err != nil {
+		t.Fatalf("same-ID replace within budget = %v", err)
+	}
+}

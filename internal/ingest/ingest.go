@@ -9,6 +9,7 @@ package ingest
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -71,72 +72,132 @@ func (o *Options) defaults() {
 	}
 }
 
+// Ingester is the streaming form of the resolution pipeline: records
+// are fed one at a time through Record, so a caller reading a large
+// file never materializes more than the current raw record (the clean
+// corpus it accumulates is the output, not overhead). Ingest is a thin
+// loop over it; the corpus-store importer drives it record-by-record
+// off a RecordReader.
+type Ingester struct {
+	opts   Options
+	norm   *textnorm.Normalizer
+	corpus *recipe.Corpus
+	stats  Stats
+}
+
+// NewIngester validates opts and prepares a streaming ingestion run.
+func NewIngester(opts Options) (*Ingester, error) {
+	opts.defaults()
+	if opts.MinIngredients < 1 || opts.MaxIngredients < opts.MinIngredients {
+		return nil, fmt.Errorf("ingest: invalid ingredient bounds [%d, %d]",
+			opts.MinIngredients, opts.MaxIngredients)
+	}
+	return &Ingester{
+		opts:   opts,
+		norm:   textnorm.NewNormalizer(opts.Lexicon),
+		corpus: recipe.NewCorpus(opts.Lexicon),
+	}, nil
+}
+
+// Record resolves one raw record into the corpus. It reports whether
+// the record was accepted; dropped records are counted in Stats by
+// reason and return (false, nil). A non-nil error means the corpus
+// rejected the resolved recipe (validation failure): the record is
+// counted as seen but neither accepted nor dropped, and the caller
+// decides whether to skip it or abort.
+func (g *Ingester) Record(raw RawRecipe) (bool, error) {
+	g.stats.RawRecipes++
+	if raw.Region == "" {
+		g.stats.DroppedNoRegion++
+		return false, nil
+	}
+	g.stats.Mentions += len(raw.Ingredients)
+	ids, misses := g.norm.ResolveAll(raw.Ingredients)
+	g.stats.ResolvedMentions += len(raw.Ingredients) - misses
+	switch {
+	case len(ids) < g.opts.MinIngredients:
+		g.stats.DroppedTooSmall++
+		return false, nil
+	case len(ids) > g.opts.MaxIngredients:
+		g.stats.DroppedTooLarge++
+		return false, nil
+	}
+	if err := g.corpus.Add(recipe.Recipe{
+		Name:        raw.Title,
+		Region:      raw.Region,
+		Continent:   raw.Continent,
+		Country:     raw.Country,
+		Ingredients: ids,
+	}); err != nil {
+		return false, err
+	}
+	g.stats.Accepted++
+	return true, nil
+}
+
+// Corpus returns the corpus accumulated so far.
+func (g *Ingester) Corpus() *recipe.Corpus { return g.corpus }
+
+// Stats returns the accounting so far.
+func (g *Ingester) Stats() Stats { return g.stats }
+
 // Ingest resolves raw records into a corpus. Records lacking a region
 // annotation or falling outside the ingredient-count bounds are dropped
 // (and counted); unresolvable mentions are skipped within a record.
+// Error messages index records 1-based — "record 1" is raws[0] — the
+// same convention the streaming readers and WriteRawJSONL use (pinned
+// by TestIngestErrorRecordIndex).
 func Ingest(raws []RawRecipe, opts Options) (*recipe.Corpus, Stats, error) {
-	opts.defaults()
-	if opts.MinIngredients < 1 || opts.MaxIngredients < opts.MinIngredients {
-		return nil, Stats{}, fmt.Errorf("ingest: invalid ingredient bounds [%d, %d]",
-			opts.MinIngredients, opts.MaxIngredients)
+	g, err := NewIngester(opts)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	norm := textnorm.NewNormalizer(opts.Lexicon)
-	corpus := recipe.NewCorpus(opts.Lexicon)
-	var stats Stats
-	for _, raw := range raws {
-		stats.RawRecipes++
-		if raw.Region == "" {
-			stats.DroppedNoRegion++
-			continue
+	for i, raw := range raws {
+		if _, err := g.Record(raw); err != nil {
+			// g.stats.RawRecipes was incremented for this record before
+			// the failure, so it equals i+1 — but report from the loop
+			// index so the correspondence is self-evident rather than a
+			// counter-ordering accident.
+			return nil, g.stats, fmt.Errorf("ingest: record %d (%q): %w", i+1, raw.Title, err)
 		}
-		stats.Mentions += len(raw.Ingredients)
-		ids, misses := norm.ResolveAll(raw.Ingredients)
-		stats.ResolvedMentions += len(raw.Ingredients) - misses
-		switch {
-		case len(ids) < opts.MinIngredients:
-			stats.DroppedTooSmall++
-			continue
-		case len(ids) > opts.MaxIngredients:
-			stats.DroppedTooLarge++
-			continue
-		}
-		if err := corpus.Add(recipe.Recipe{
-			Name:        raw.Title,
-			Region:      raw.Region,
-			Continent:   raw.Continent,
-			Country:     raw.Country,
-			Ingredients: ids,
-		}); err != nil {
-			return nil, stats, fmt.Errorf("ingest: record %d (%q): %w", stats.RawRecipes, raw.Title, err)
-		}
-		stats.Accepted++
 	}
-	return corpus, stats, nil
+	return g.corpus, g.stats, nil
 }
 
-// ReadRawJSONL reads raw records in JSON Lines format.
+// ReadRawJSONL reads raw records in JSON Lines format, materializing
+// the whole file. Decode errors report actual input line numbers (blank
+// lines and pretty-printed multi-line records included); for bounded
+// memory on large files use NewRawJSONLReader and stream instead.
 func ReadRawJSONL(r io.Reader) ([]RawRecipe, error) {
 	var out []RawRecipe
-	dec := json.NewDecoder(bufio.NewReader(r))
-	for line := 1; ; line++ {
-		var raw RawRecipe
-		if err := dec.Decode(&raw); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+	rr := NewRawJSONLReader(r)
+	for {
+		raw, err := rr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			var re *RecordError
+			if errors.As(err, &re) {
+				// The slurping API has no skip channel; surface the
+				// record error with its line, like any other failure.
+				return nil, fmt.Errorf("ingest: line %d: %w", re.Line, re.Err)
+			}
+			return nil, fmt.Errorf("ingest: %w", err)
 		}
 		out = append(out, raw)
 	}
-	return out, nil
 }
 
-// WriteRawJSONL writes raw records in JSON Lines format.
+// WriteRawJSONL writes raw records in JSON Lines format. Like every
+// record-indexed message in this package, errors are 1-based: "record
+// 1" is raws[0].
 func WriteRawJSONL(w io.Writer, raws []RawRecipe) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i, raw := range raws {
 		if err := enc.Encode(raw); err != nil {
-			return fmt.Errorf("ingest: encoding record %d: %w", i, err)
+			return fmt.Errorf("ingest: encoding record %d: %w", i+1, err)
 		}
 	}
 	return bw.Flush()

@@ -1,0 +1,250 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RecordError is a recoverable per-record failure: the reader could not
+// turn one record into a RawRecipe (wrong JSON shape, malformed CSV row,
+// oversize record) but the stream itself is still consumable. Callers —
+// the streaming importer in internal/corpusstore — may skip the record
+// and continue; errors that are *not* RecordErrors poison the stream
+// (e.g. a JSON syntax error leaves the decoder at an unknown position)
+// and abort it.
+type RecordError struct {
+	Record int   // 1-based ordinal of the failing record
+	Line   int   // 1-based input line where the failure was detected
+	Err    error // the underlying decode/validation failure
+}
+
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("record %d (line %d): %v", e.Record, e.Line, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// RecordReader streams raw recipe records one at a time with bounded
+// memory: only the current record is materialized. Next returns io.EOF
+// at end of input, a *RecordError for recoverable per-record failures,
+// and any other error when the stream is no longer consumable.
+type RecordReader interface {
+	// Next returns the next record. The returned RawRecipe is only
+	// valid until the next call for readers that reuse buffers.
+	Next() (RawRecipe, error)
+	// Record returns the 1-based ordinal of the last record returned
+	// (or attempted); 0 before the first Next.
+	Record() int
+	// Line returns the 1-based input line of the last record returned
+	// (or, after an error, of the failure position); 0 before the
+	// first Next.
+	Line() int
+	// InputOffset returns the number of input bytes consumed so far.
+	InputOffset() int64
+}
+
+// lineCounter wraps a reader and records the byte offset of every
+// newline it passes through, so a downstream decoder's byte offsets
+// (json.SyntaxError.Offset, json.Decoder.InputOffset) can be mapped
+// back to 1-based input line numbers even when the decoder reads far
+// ahead of the record it is reporting about.
+type lineCounter struct {
+	r        io.Reader
+	off      int64
+	newlines []int64 // offsets of '\n' bytes seen so far, ascending
+}
+
+func (lc *lineCounter) Read(p []byte) (int, error) {
+	n, err := lc.r.Read(p)
+	for i := 0; i < n; i++ {
+		if p[i] == '\n' {
+			lc.newlines = append(lc.newlines, lc.off+int64(i))
+		}
+	}
+	lc.off += int64(n)
+	return n, err
+}
+
+// lineAt maps a byte offset to its 1-based line number.
+func (lc *lineCounter) lineAt(off int64) int {
+	return 1 + sort.Search(len(lc.newlines), func(i int) bool {
+		return lc.newlines[i] >= off
+	})
+}
+
+// RawJSONLReader streams RawRecipes from JSON Lines input (one object
+// per line; blank lines and multi-line pretty-printed objects are
+// tolerated). Unlike the historical ReadRawJSONL error messages — which
+// counted decoded records and called them lines — its reported line
+// numbers are actual input lines, tracked through the decoder's byte
+// offsets.
+type RawJSONLReader struct {
+	lc     *lineCounter
+	dec    *json.Decoder
+	record int
+	line   int
+}
+
+// NewRawJSONLReader returns a streaming JSONL reader over r.
+func NewRawJSONLReader(r io.Reader) *RawJSONLReader {
+	lc := &lineCounter{r: bufio.NewReader(r)}
+	return &RawJSONLReader{lc: lc, dec: json.NewDecoder(lc)}
+}
+
+func (r *RawJSONLReader) Record() int        { return r.record }
+func (r *RawJSONLReader) Line() int          { return r.line }
+func (r *RawJSONLReader) InputOffset() int64 { return r.dec.InputOffset() }
+
+// Next decodes the next record. JSON values of the wrong shape (arrays,
+// strings, ...) are *RecordErrors — the decoder has consumed the value,
+// so the stream continues; syntax errors abort the stream with the
+// exact line of the offending byte.
+func (r *RawJSONLReader) Next() (RawRecipe, error) {
+	var raw RawRecipe
+	err := r.dec.Decode(&raw)
+	if err == io.EOF {
+		return RawRecipe{}, io.EOF
+	}
+	r.record++
+	if err == nil {
+		r.line = r.lc.lineAt(r.dec.InputOffset() - 1)
+		return raw, nil
+	}
+	// Map the failure to its input line. Both structural JSON error
+	// types carry a byte offset ("after reading Offset bytes"), which
+	// lands on or just before the offending token — lineAt of that
+	// offset is the token's line.
+	var (
+		synErr  *json.SyntaxError
+		typeErr *json.UnmarshalTypeError
+	)
+	switch {
+	case errors.As(err, &typeErr):
+		// The decoder consumed the whole value; the record is bad but
+		// the stream position is sound — recoverable. The type error's
+		// own Offset is relative to the decoder's internal buffer (a
+		// long-standing encoding/json quirk), so the value's end
+		// position — InputOffset, which *is* stream-absolute — locates
+		// the line instead.
+		r.line = r.lc.lineAt(r.dec.InputOffset() - 1)
+		return RawRecipe{}, &RecordError{Record: r.record, Line: r.line, Err: err}
+	case errors.As(err, &synErr):
+		r.line = r.lc.lineAt(synErr.Offset)
+	default:
+		r.line = r.lc.lineAt(r.dec.InputOffset())
+	}
+	return RawRecipe{}, fmt.Errorf("line %d: %w", r.line, err)
+}
+
+// csvColumns maps recognized raw-CSV header names (lowercased) to
+// RawRecipe fields. "name" and "id" make the clean-corpus CSV written
+// by recipe.(*Corpus).WriteCSV importable as raw records, closing the
+// import → export → re-import round trip.
+var csvColumns = map[string]bool{
+	"title": true, "name": true, "source": true, "url": true,
+	"continent": true, "region": true, "country": true,
+	"ingredients": true, "instructions": true, "id": true,
+}
+
+// RawCSVReader streams RawRecipes from CSV input. The first row must be
+// a header naming at least the "region" and "ingredients" columns;
+// column order is free, unrecognized columns are ignored, and the
+// ingredients cell holds '|'-separated mention strings.
+type RawCSVReader struct {
+	cr     *csv.Reader
+	cols   map[string]int // recognized column name -> field index
+	record int
+	line   int
+}
+
+// NewRawCSVReader returns a streaming CSV reader over r, consuming the
+// header row immediately.
+func NewRawCSVReader(r io.Reader) (*RawCSVReader, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = -1 // validated per record against the header
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("ingest: empty CSV input (missing header)")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading CSV header: %w", err)
+	}
+	cols := make(map[string]int, len(header))
+	for i, name := range header {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if i == 0 {
+			name = strings.TrimPrefix(name, "\ufeff") // tolerate a BOM
+		}
+		if csvColumns[name] {
+			cols[name] = i
+		}
+	}
+	if _, ok := cols["region"]; !ok {
+		return nil, fmt.Errorf("ingest: CSV header %v lacks a region column", header)
+	}
+	if _, ok := cols["ingredients"]; !ok {
+		return nil, fmt.Errorf("ingest: CSV header %v lacks an ingredients column", header)
+	}
+	return &RawCSVReader{cr: cr, cols: cols, line: 1}, nil
+}
+
+func (r *RawCSVReader) Record() int        { return r.record }
+func (r *RawCSVReader) Line() int          { return r.line }
+func (r *RawCSVReader) InputOffset() int64 { return r.cr.InputOffset() }
+
+// Next reads the next CSV row. Malformed rows (bare quotes, wrong field
+// counts) are *RecordErrors: encoding/csv recovers at the next row, so
+// the stream continues.
+func (r *RawCSVReader) Next() (RawRecipe, error) {
+	rec, err := r.cr.Read()
+	if err == io.EOF {
+		return RawRecipe{}, io.EOF
+	}
+	r.record++
+	if err != nil {
+		var pe *csv.ParseError
+		if errors.As(err, &pe) {
+			r.line = pe.Line
+			return RawRecipe{}, &RecordError{Record: r.record, Line: r.line, Err: err}
+		}
+		return RawRecipe{}, fmt.Errorf("record %d: %w", r.record, err)
+	}
+	r.line, _ = r.cr.FieldPos(0)
+	field := func(name string) string {
+		idx, ok := r.cols[name]
+		if !ok || idx >= len(rec) {
+			return ""
+		}
+		return strings.TrimSpace(rec[idx])
+	}
+	title := field("title")
+	if title == "" {
+		title = field("name")
+	}
+	raw := RawRecipe{
+		Title:        title,
+		Source:       field("source"),
+		URL:          field("url"),
+		Continent:    field("continent"),
+		Region:       field("region"),
+		Country:      field("country"),
+		Instructions: field("instructions"),
+	}
+	if cell := field("ingredients"); cell != "" {
+		parts := strings.Split(cell, "|")
+		raw.Ingredients = make([]string, 0, len(parts))
+		for _, p := range parts {
+			if p = strings.TrimSpace(p); p != "" {
+				raw.Ingredients = append(raw.Ingredients, p)
+			}
+		}
+	}
+	return raw, nil
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cuisinevol/internal/corpusstore"
+)
+
+const uploadJSONL = `{"title":"Margherita","region":"ITA","ingredients":["tomato","basil","garlic"]}
+{"title":"Carbonara","region":"ITA","ingredients":["egg","pancetta","parmesan"]}
+{"title":"Bibimbap","region":"KOR","ingredients":["rice","garlic","egg"]}
+{"title":"Kimchi Stew","region":"KOR","ingredients":["napa cabbage","garlic","tofu"]}
+`
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path, body string, out any) *http.Response {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body != "" {
+		req, err = http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	} else {
+		req, err = http.NewRequest(method, ts.URL+path, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+	return resp
+}
+
+type uploadBody struct {
+	Corpus struct {
+		ID      string `json:"id"`
+		Name    string `json:"name"`
+		Version int    `json:"version"`
+		Ref     string `json:"ref"`
+		Recipes int    `json:"recipes"`
+	} `json:"corpus"`
+	Stats struct {
+		RawRecords int `json:"raw_records"`
+		Accepted   int `json:"accepted"`
+	} `json:"stats"`
+	Skipped     int                       `json:"skipped_records"`
+	ErrorSample []corpusstore.RecordIssue `json:"error_sample"`
+}
+
+func TestCorpusUploadSelectDelete(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	// Upload.
+	var up uploadBody
+	resp := doJSON(t, ts, http.MethodPost, "/v1/corpora?name=tiny", uploadJSONL, &up)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+	if up.Corpus.Ref != "tiny@1" || up.Corpus.Recipes != 4 || up.Stats.Accepted != 4 {
+		t.Fatalf("upload response = %+v", up)
+	}
+	if up.Corpus.ID == srv.Fingerprint() {
+		t.Fatal("uploaded corpus shares the default fingerprint")
+	}
+
+	// Analytics against it — by name, by ref, by raw fingerprint — all
+	// land on the same content-addressed cache entry.
+	resp, body := get(t, ts, "/v1/mine?corpus=tiny&region=ITA&support=0.5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine against upload: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("first mine X-Cache = %q", resp.Header.Get("X-Cache"))
+	}
+	var mined struct {
+		Region string `json:"region"`
+		Total  int    `json:"total"`
+	}
+	if err := json.Unmarshal(body, &mined); err != nil {
+		t.Fatal(err)
+	}
+	if mined.Region != "ITA" || mined.Total == 0 {
+		t.Fatalf("mine result = %+v", mined)
+	}
+	for _, ref := range []string{"tiny@1", up.Corpus.ID} {
+		resp, _ := get(t, ts, "/v1/mine?corpus="+ref+"&region=ITA&support=0.5")
+		if resp.Header.Get("X-Cache") != "HIT" {
+			t.Fatalf("corpus=%s did not share the cache entry (X-Cache %q)",
+				ref, resp.Header.Get("X-Cache"))
+		}
+	}
+	// The default corpus is untouched by the corpus parameter's absence.
+	if resp, body := get(t, ts, "/v1/mine?region=ITA&support=0.5"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default mine: %d %s", resp.StatusCode, body)
+	}
+
+	// Region validation runs against the selected corpus: the synthetic
+	// default has FRA recipes, the upload does not.
+	if resp, _ := get(t, ts, "/v1/mine?corpus=tiny&region=FRA"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown region in uploaded corpus: %d, want 404", resp.StatusCode)
+	}
+
+	// /v1/cuisines for the upload lists exactly its regions.
+	var cuisines struct {
+		Cuisines []struct {
+			Code    string `json:"code"`
+			Recipes int    `json:"recipes"`
+		} `json:"cuisines"`
+	}
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/cuisines?corpus=tiny", "", &cuisines); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cuisines status = %d", resp.StatusCode)
+	}
+	if len(cuisines.Cuisines) != 2 {
+		t.Fatalf("uploaded corpus lists %d cuisines, want 2", len(cuisines.Cuisines))
+	}
+
+	// Listing shows the corpus and the default.
+	var listed struct {
+		Default struct {
+			ID string `json:"id"`
+		} `json:"default"`
+		Corpora []corpusRow `json:"corpora"`
+	}
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/corpora", "", &listed); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	if listed.Default.ID != srv.Fingerprint() || len(listed.Corpora) != 1 || listed.Corpora[0].Ref != "tiny@1" {
+		t.Fatalf("list = %+v", listed)
+	}
+
+	// Delete by name; subsequent selection is a typed 404.
+	if resp := doJSON(t, ts, http.MethodDelete, "/v1/corpora/tiny", "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/mine?corpus=tiny&region=ITA"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("mine after delete: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCorpusSelectErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Unknown references are typed 404s on every analytics endpoint.
+	for _, path := range []string{
+		"/v1/mine?corpus=nope&region=ITA",
+		"/v1/cuisines?corpus=nope",
+		"/v1/table1?corpus=nope",
+		"/v1/fig3?corpus=nope",
+		"/v1/overrep?corpus=nope&region=ITA",
+		"/v1/evolve?corpus=nope&region=ITA",
+		"/v1/fig4?corpus=nope",
+	} {
+		resp, body := get(t, ts, path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %d (want 404), body %s", path, resp.StatusCode, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("GET %s: unstructured error body %s", path, body)
+		}
+	}
+	// Syntactically invalid references are 400s.
+	if resp, _ := get(t, ts, "/v1/mine?corpus=NOT--@VALID&region=ITA"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid ref: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCorpusUploadErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Missing name.
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/corpora", uploadJSONL, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing name: %d, want 400", resp.StatusCode)
+	}
+	// Invalid name.
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/corpora?name=Not%20OK", uploadJSONL, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad name: %d, want 400", resp.StatusCode)
+	}
+	// Nothing accepted.
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/corpora?name=empty", `{"region":"","ingredients":[]}`+"\n", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty import: %d, want 400", resp.StatusCode)
+	}
+	// Same content under a different name conflicts.
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/corpora?name=one", uploadJSONL, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first upload: %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/corpora?name=two", uploadJSONL, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate content under new name: %d, want 409", resp.StatusCode)
+	}
+	// Unknown delete target.
+	if resp := doJSON(t, ts, http.MethodDelete, "/v1/corpora/ghost", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete unknown: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCorpusRestartWarm pins the durability story end to end: a corpus
+// uploaded to a filesystem-backed server survives a restart with the
+// same fingerprint and is immediately servable.
+func TestCorpusRestartWarm(t *testing.T) {
+	dir := t.TempDir()
+	openServer := func() (*Server, *httptest.Server) {
+		store, err := corpusstore.OpenFS(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err := corpusstore.NewRegistry(store, testCorpus(t).Lexicon())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(Options{Seed: 42, Replicates: 2, Compute: 4, Corpus: testCorpus(t), Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		return srv, ts
+	}
+
+	srv1, ts1 := openServer()
+	var up uploadBody
+	if resp := doJSON(t, ts1, http.MethodPost, "/v1/corpora?name=durable", uploadJSONL, &up); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+	ts1.Close()
+	_ = srv1
+
+	srv2, ts2 := openServer()
+	defer ts2.Close()
+	resp, body := get(t, ts2, "/v1/mine?corpus=durable@1&region=KOR&support=0.5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine after restart: %d %s", resp.StatusCode, body)
+	}
+	var listed struct {
+		Corpora []corpusRow `json:"corpora"`
+	}
+	if resp := doJSON(t, ts2, http.MethodGet, "/v1/corpora", "", &listed); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list after restart: %d", resp.StatusCode)
+	}
+	if len(listed.Corpora) != 1 || listed.Corpora[0].ID != up.Corpus.ID {
+		t.Fatalf("restart list = %+v, want the uploaded fingerprint %s", listed.Corpora, up.Corpus.ID)
+	}
+	// The restart loaded it from disk: the load counter is visible.
+	resp, metrics := get(t, ts2, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("metrics unavailable")
+	}
+	for _, family := range []string{
+		"cuisinevol_corpus_loads_total 1",
+		"cuisinevol_corpus_store_entries 1",
+		"cuisinevol_corpus_loaded_entries 1",
+	} {
+		if !strings.Contains(string(metrics), family) {
+			t.Fatalf("metrics missing %q", family)
+		}
+	}
+	_ = srv2
+}
+
+func TestMetricsIncludeCorpusFamilies(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, body := get(t, ts, "/metrics")
+	for _, family := range []string{
+		"cuisinevol_corpus_loads_total",
+		"cuisinevol_corpus_load_hits_total",
+		"cuisinevol_corpus_load_misses_total",
+		"cuisinevol_corpus_puts_total",
+		"cuisinevol_corpus_deletes_total",
+		"cuisinevol_corpus_loaded_bytes",
+		"cuisinevol_corpus_store_bytes",
+		"cuisinevol_corpus_store_entries",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Fatalf("metrics missing family %q", family)
+		}
+	}
+}

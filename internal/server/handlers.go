@@ -17,9 +17,10 @@ import (
 	"cuisinevol/internal/rankfreq"
 )
 
-// routes registers every endpoint. All /v1/ endpoints are GET-only and
-// flow through serveComputed (cache → coalesce → compute); /healthz and
-// /metrics are served directly.
+// routes registers every endpoint. The analytics endpoints are GET-only
+// and flow through serveComputed (cache → coalesce → compute); /healthz
+// and /metrics are served directly; /v1/corpora (corpora.go) carries
+// the corpus-management verbs.
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	register := func(path string, h http.HandlerFunc) {
@@ -36,6 +37,9 @@ func (s *Server) routes() {
 	register("/v1/mine", s.handleMine)
 	register("/v1/overrep", s.handleOverrep)
 	register("/v1/evolve", s.handleEvolve)
+	s.mux.Handle("POST /v1/corpora", s.instrument("/v1/corpora", s.handleCorpusUpload))
+	s.mux.Handle("GET /v1/corpora", s.instrument("/v1/corpora", s.handleCorpusList))
+	s.mux.Handle("DELETE /v1/corpora/{id}", s.instrument("/v1/corpora/{id}", s.handleCorpusDelete))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -43,6 +47,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":  "ok",
 		"corpus":  s.fingerprint,
 		"recipes": s.corpus.Len(),
+		"corpora": s.registry.Stats().StoreEntries,
 	})
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Write(body)
@@ -50,7 +55,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache, s.indexes)
+	s.metrics.WriteTo(w, s.cache, s.indexes, s.registry)
 }
 
 // cuisineInfo is one row of /v1/cuisines.
@@ -62,13 +67,43 @@ type cuisineInfo struct {
 }
 
 func (s *Server) handleCuisines(w http.ResponseWriter, r *http.Request) {
-	s.serveComputed(w, r, "/v1/cuisines", "", func(ctx context.Context) (any, error) {
+	sel, err := s.selectCorpus(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveComputed(w, r, sel.fingerprint, "/v1/cuisines", "", func(ctx context.Context) (any, error) {
+		// Paper cuisines come first in Table I order (all 25 for the
+		// default corpus, the non-empty ones for an uploaded corpus);
+		// region codes outside the paper's set follow, sorted, with the
+		// code standing in for the display name.
 		out := make([]cuisineInfo, 0, cuisine.Count)
+		known := make(map[string]bool, cuisine.Count)
 		for _, region := range cuisine.All() {
-			view := s.corpus.Region(region.Code)
+			known[region.Code] = true
+			view := sel.corpus.Region(region.Code)
+			if view.Len() == 0 && !sel.def {
+				continue
+			}
 			out = append(out, cuisineInfo{
 				Code:              region.Code,
 				Name:              region.Name,
+				Recipes:           view.Len(),
+				UniqueIngredients: view.UniqueIngredients(),
+			})
+		}
+		var extra []string
+		for _, code := range sel.corpus.Regions() {
+			if !known[code] {
+				extra = append(extra, code)
+			}
+		}
+		sort.Strings(extra)
+		for _, code := range extra {
+			view := sel.corpus.Region(code)
+			out = append(out, cuisineInfo{
+				Code:              code,
+				Name:              code,
 				Recipes:           view.Len(),
 				UniqueIngredients: view.UniqueIngredients(),
 			})
@@ -89,8 +124,13 @@ type table1Row struct {
 }
 
 func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
-	s.serveComputed(w, r, "/v1/table1", "", func(ctx context.Context) (any, error) {
-		res, err := experiment.RunTableI(s.config(s.opts.Replicates))
+	sel, err := s.selectCorpus(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveComputed(w, r, sel.fingerprint, "/v1/table1", "", func(ctx context.Context) (any, error) {
+		res, err := experiment.RunTableI(s.config(sel, s.opts.Replicates))
 		if err != nil {
 			return nil, err
 		}
@@ -116,14 +156,24 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFig1(w http.ResponseWriter, r *http.Request) {
-	s.serveComputed(w, r, "/v1/fig1", "", func(ctx context.Context) (any, error) {
-		return experiment.RunFig1(s.config(s.opts.Replicates))
+	sel, err := s.selectCorpus(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveComputed(w, r, sel.fingerprint, "/v1/fig1", "", func(ctx context.Context) (any, error) {
+		return experiment.RunFig1(s.config(sel, s.opts.Replicates))
 	})
 }
 
 func (s *Server) handleFig2(w http.ResponseWriter, r *http.Request) {
-	s.serveComputed(w, r, "/v1/fig2", "", func(ctx context.Context) (any, error) {
-		res, err := experiment.RunFig2(s.config(s.opts.Replicates))
+	sel, err := s.selectCorpus(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveComputed(w, r, sel.fingerprint, "/v1/fig2", "", func(ctx context.Context) (any, error) {
+		res, err := experiment.RunFig2(s.config(sel, s.opts.Replicates))
 		if err != nil {
 			return nil, err
 		}
@@ -157,14 +207,15 @@ func toPanel(p experiment.Fig3Panel) figPanel {
 }
 
 func (s *Server) handleFig3(w http.ResponseWriter, r *http.Request) {
-	support, err := parseFloat(r, "support", s.opts.MinSupport, 0, 1)
-	if err != nil {
+	sel, err := s.selectCorpus(r)
+	support, serr := parseFloat(r, "support", s.opts.MinSupport, 0, 1)
+	if err = firstErr(err, serr); err != nil {
 		s.writeError(w, err)
 		return
 	}
 	canon := canonicalParams("support", support)
-	s.serveComputed(w, r, "/v1/fig3", canon, func(ctx context.Context) (any, error) {
-		cfg := s.config(s.opts.Replicates)
+	s.serveComputed(w, r, sel.fingerprint, "/v1/fig3", canon, func(ctx context.Context) (any, error) {
+		cfg := s.config(sel, s.opts.Replicates)
 		cfg.MinSupport = support
 		res, err := experiment.RunFig3Ctx(ctx, cfg)
 		if err != nil {
@@ -185,9 +236,14 @@ type fig4Row struct {
 }
 
 func (s *Server) handleFig4(w http.ResponseWriter, r *http.Request) {
+	sel, err := s.selectCorpus(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	replicates, err := parseInt(r, "replicates", s.opts.Replicates, 1, 10000)
 	categories, cerr := parseBool(r, "categories", false)
-	regions, rerr := parseRegions(r, s.corpus.Regions())
+	regions, rerr := parseRegions(r, sel.corpus.Regions())
 	dists, derr := parseBool(r, "dists", false)
 	if err = firstErr(err, cerr, rerr, derr); err != nil {
 		s.writeError(w, err)
@@ -199,8 +255,8 @@ func (s *Server) handleFig4(w http.ResponseWriter, r *http.Request) {
 		"regions", strings.Join(regions, ","),
 		"replicates", replicates,
 	)
-	s.serveComputed(w, r, "/v1/fig4", canon, func(ctx context.Context) (any, error) {
-		cfg := s.config(replicates)
+	s.serveComputed(w, r, sel.fingerprint, "/v1/fig4", canon, func(ctx context.Context) (any, error) {
+		cfg := s.config(sel, replicates)
 		res, err := experiment.RunFig4Ctx(ctx, cfg, experiment.Fig4Options{
 			Categories: categories,
 			Regions:    regions,
@@ -255,7 +311,12 @@ type minedSet struct {
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
-	region, err := s.parseRegion(r)
+	sel, err := s.selectCorpus(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	region, err := parseRegion(r, sel)
 	support, serr := parseFloat(r, "support", s.opts.MinSupport, 0, 1)
 	top, terr := parseInt(r, "top", 25, 1, 100000)
 	categories, cerr := parseBool(r, "categories", false)
@@ -272,8 +333,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	// handler tests pin both properties: identical bodies, distinct
 	// keys.
 	canon := canonicalParams("categories", categories, "kernel", kernel.String(), "region", region, "support", support, "top", top)
-	s.serveComputed(w, r, "/v1/mine", canon, func(ctx context.Context) (any, error) {
-		ix, err := s.viewIndex(region, categories)
+	s.serveComputed(w, r, sel.fingerprint, "/v1/mine", canon, func(ctx context.Context) (any, error) {
+		ix, err := s.viewIndex(sel, region, categories)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +342,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		lex := s.corpus.Lexicon()
+		lex := sel.corpus.Lexicon()
 		sets := make([]minedSet, 0, min(top, len(res.Sets)))
 		for i, set := range res.Sets {
 			if i >= top {
@@ -309,30 +370,35 @@ type overrepRow struct {
 }
 
 func (s *Server) handleOverrep(w http.ResponseWriter, r *http.Request) {
-	region, err := s.parseRegion(r)
+	sel, err := s.selectCorpus(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	region, err := parseRegion(r, sel)
 	k, kerr := parseInt(r, "k", 10, 1, 1000)
 	if err = firstErr(err, kerr); err != nil {
 		s.writeError(w, err)
 		return
 	}
 	canon := canonicalParams("k", k, "region", region)
-	s.serveComputed(w, r, "/v1/overrep", canon, func(ctx context.Context) (any, error) {
+	s.serveComputed(w, r, sel.fingerprint, "/v1/overrep", canon, func(ctx context.Context) (any, error) {
 		// Both document-frequency tables come off shared indexes: the
 		// whole-corpus one carries Eq 1's global counts, the region one
 		// its numerator — no per-request corpus rescan.
-		allIx, err := s.viewIndex("", false)
+		allIx, err := s.viewIndex(sel, "", false)
 		if err != nil {
 			return nil, err
 		}
-		regionIx, err := s.viewIndex(region, false)
+		regionIx, err := s.viewIndex(sel, region, false)
 		if err != nil {
 			return nil, err
 		}
-		topK, err := overrep.NewFromIndex(s.corpus, allIx).TopKFromIndex(region, regionIx, k)
+		topK, err := overrep.NewFromIndex(sel.corpus, allIx).TopKFromIndex(region, regionIx, k)
 		if err != nil {
 			return nil, err
 		}
-		lex := s.corpus.Lexicon()
+		lex := sel.corpus.Lexicon()
 		rows := make([]overrepRow, len(topK))
 		for i, res := range topK {
 			rows[i] = overrepRow{
@@ -346,7 +412,12 @@ func (s *Server) handleOverrep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
-	region, err := s.parseRegion(r)
+	sel, err := s.selectCorpus(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	region, err := parseRegion(r, sel)
 	model := r.URL.Query().Get("model")
 	if model == "" {
 		model = "CM-R"
@@ -359,9 +430,9 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	canon := canonicalParams("model", kind.String(), "region", region, "replicates", replicates, "support", support)
-	s.serveComputed(w, r, "/v1/evolve", canon, func(ctx context.Context) (any, error) {
-		view := s.corpus.Region(region)
-		ix, err := s.viewIndex(region, false)
+	s.serveComputed(w, r, sel.fingerprint, "/v1/evolve", canon, func(ctx context.Context) (any, error) {
+		view := sel.corpus.Region(region)
+		ix, err := s.viewIndex(sel, region, false)
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +446,7 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 			Replicates: replicates,
 			MinSupport: support,
 			Workers:    s.opts.Workers,
-		}, s.corpus.Lexicon())
+		}, sel.corpus.Lexicon())
 		if err != nil {
 			return nil, err
 		}
@@ -449,14 +520,14 @@ func parseBool(r *http.Request, name string, def bool) (bool, error) {
 }
 
 // parseRegion reads and validates the region parameter against the
-// served corpus; a missing region is a 400, an unknown cuisine a 404 —
-// the resource (that cuisine's recipes) does not exist.
-func (s *Server) parseRegion(r *http.Request) (string, error) {
+// selected corpus; a missing region is a 400, an unknown cuisine a 404
+// — the resource (that cuisine's recipes) does not exist.
+func parseRegion(r *http.Request, sel corpusSel) (string, error) {
 	code := strings.ToUpper(strings.TrimSpace(r.URL.Query().Get("region")))
 	if code == "" {
 		return "", badRequest("missing required parameter region")
 	}
-	if s.corpus.Region(code).Len() == 0 {
+	if sel.corpus.Region(code).Len() == 0 {
 		return "", notFound("unknown cuisine %q", code)
 	}
 	return code, nil

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cuisinevol/internal/corpusstore"
 	"cuisinevol/internal/itemset"
 )
 
@@ -84,7 +85,7 @@ func (m *metrics) observe(endpoint string, status int, seconds float64) {
 // WriteTo renders the registry in Prometheus text exposition format
 // (version 0.0.4). Families and label values are emitted in sorted
 // order.
-func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.IndexCache) error {
+func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.IndexCache, registry *corpusstore.Registry) error {
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.requests))
 	for ep := range m.requests {
@@ -167,6 +168,35 @@ func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.Inde
 	appendf("# HELP cuisinevol_index_entries Corpus indexes currently cached.\n")
 	appendf("# TYPE cuisinevol_index_entries gauge\n")
 	appendf("cuisinevol_index_entries %d\n", ist.Entries)
+
+	rst := registry.Stats()
+	appendf("# HELP cuisinevol_corpus_loads_total Corpus loads from the backing store (singleflight-deduplicated).\n")
+	appendf("# TYPE cuisinevol_corpus_loads_total counter\n")
+	appendf("cuisinevol_corpus_loads_total %d\n", rst.Loads)
+	appendf("# HELP cuisinevol_corpus_load_hits_total Corpus resolutions served from a memoized corpus.\n")
+	appendf("# TYPE cuisinevol_corpus_load_hits_total counter\n")
+	appendf("cuisinevol_corpus_load_hits_total %d\n", rst.LoadHits)
+	appendf("# HELP cuisinevol_corpus_load_misses_total Corpus resolutions that had to load (or join an in-flight load).\n")
+	appendf("# TYPE cuisinevol_corpus_load_misses_total counter\n")
+	appendf("cuisinevol_corpus_load_misses_total %d\n", rst.LoadMisses)
+	appendf("# HELP cuisinevol_corpus_puts_total Corpora registered (distinct content).\n")
+	appendf("# TYPE cuisinevol_corpus_puts_total counter\n")
+	appendf("cuisinevol_corpus_puts_total %d\n", rst.Puts)
+	appendf("# HELP cuisinevol_corpus_deletes_total Corpora deleted from the registry.\n")
+	appendf("# TYPE cuisinevol_corpus_deletes_total counter\n")
+	appendf("cuisinevol_corpus_deletes_total %d\n", rst.Deletes)
+	appendf("# HELP cuisinevol_corpus_loaded_bytes Serialized bytes of corpora currently memoized in memory.\n")
+	appendf("# TYPE cuisinevol_corpus_loaded_bytes gauge\n")
+	appendf("cuisinevol_corpus_loaded_bytes %d\n", rst.LoadedBytes)
+	appendf("# HELP cuisinevol_corpus_loaded_entries Corpora currently memoized in memory.\n")
+	appendf("# TYPE cuisinevol_corpus_loaded_entries gauge\n")
+	appendf("cuisinevol_corpus_loaded_entries %d\n", rst.LoadedEntries)
+	appendf("# HELP cuisinevol_corpus_store_bytes Payload bytes in the backing corpus store.\n")
+	appendf("# TYPE cuisinevol_corpus_store_bytes gauge\n")
+	appendf("cuisinevol_corpus_store_bytes %d\n", rst.StoreBytes)
+	appendf("# HELP cuisinevol_corpus_store_entries Corpora in the backing store.\n")
+	appendf("# TYPE cuisinevol_corpus_store_entries gauge\n")
+	appendf("cuisinevol_corpus_store_entries %d\n", rst.StoreEntries)
 
 	appendf("# HELP cuisinevol_coalesced_requests_total Requests served by joining an identical in-flight computation.\n")
 	appendf("# TYPE cuisinevol_coalesced_requests_total counter\n")

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"cuisinevol/internal/corpusstore"
 	"cuisinevol/internal/experiment"
 	"cuisinevol/internal/ingredient"
 	"cuisinevol/internal/itemset"
@@ -61,8 +62,15 @@ type Options struct {
 	// of prebuilt itemset.Index values shared by the mine, overrep,
 	// evolve and table1 paths; <= 0 means 64 MiB.
 	IndexBytes int64
-	// Corpus, when non-nil, is served instead of a generated one.
+	// Corpus, when non-nil, is served as the default corpus instead of
+	// a generated one.
 	Corpus *recipe.Corpus
+	// Registry, when non-nil, backs the multi-corpus endpoints
+	// (/v1/corpora and the corpus= parameter); nil selects a fresh
+	// in-memory registry, so uploads work out of the box but do not
+	// survive a restart. Wire a filesystem-backed registry (see
+	// corpusstore.OpenFS) for durability.
+	Registry *corpusstore.Registry
 	// Timeout is the per-request compute deadline for the heavy pipeline
 	// endpoints; lighter endpoints get a fraction of it (endpointBudget).
 	// 0 selects the 2-minute default; negative disables deadlines.
@@ -81,8 +89,9 @@ type Options struct {
 // Handler, and drive with net/http.
 type Server struct {
 	opts        Options
-	corpus      *recipe.Corpus
+	corpus      *recipe.Corpus // the default corpus (corpus= absent)
 	fingerprint string
+	registry    *corpusstore.Registry
 	cache       *resultCache
 	indexes     *itemset.IndexCache
 	flight      *flightGroup
@@ -136,11 +145,20 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	registry := opts.Registry
+	if registry == nil {
+		var err error
+		registry, err = corpusstore.NewRegistry(corpusstore.NewMemStore(0), corpus.Lexicon())
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
 	m := newMetrics()
 	s := &Server{
 		opts:        opts,
 		corpus:      corpus,
 		fingerprint: corpus.Fingerprint(),
+		registry:    registry,
 		cache:       newResultCache(opts.CacheBytes),
 		indexes:     itemset.NewIndexCache(opts.IndexBytes),
 		flight:      newFlightGroup(),
@@ -198,18 +216,51 @@ func (s *Server) Fingerprint() string { return s.fingerprint }
 // executed — the observable that cache and coalescing tests assert on.
 func (s *Server) Computations() uint64 { return s.metrics.computations.Load() }
 
+// corpusSel is one request's resolved corpus: the value every handler
+// computes against and the fingerprint its cache keys carry. def marks
+// the server's default corpus (no corpus= parameter).
+type corpusSel struct {
+	corpus      *recipe.Corpus
+	fingerprint string
+	def         bool
+}
+
+// selectCorpus resolves the request's corpus= parameter through the
+// registry; absent (or the literal "default") selects the server's
+// default corpus. The fingerprint of whatever is selected flows into
+// the result-cache keys, so two references to the same content — a
+// name, a pinned name@version, a raw fingerprint — share cache entries,
+// and distinct corpora can never collide.
+func (s *Server) selectCorpus(r *http.Request) (corpusSel, error) {
+	ref := strings.TrimSpace(r.URL.Query().Get("corpus"))
+	if ref == "" || ref == "default" {
+		return corpusSel{corpus: s.corpus, fingerprint: s.fingerprint, def: true}, nil
+	}
+	corpus, info, err := s.registry.Resolve(ref)
+	switch {
+	case err == nil:
+		return corpusSel{corpus: corpus, fingerprint: info.ID}, nil
+	case errors.Is(err, corpusstore.ErrNotFound):
+		return corpusSel{}, notFound("unknown corpus %q", ref)
+	case errors.Is(err, corpusstore.ErrBadRef):
+		return corpusSel{}, badRequest("invalid corpus reference %q", ref)
+	default:
+		return corpusSel{}, err
+	}
+}
+
 // viewIndex returns the shared corpus index for one region slice
 // (region "" is the whole corpus), building and caching it on first
 // use. Every handler that mines or counts document frequencies goes
 // through here, so one build per (corpus, slice) serves all parameter
 // points — and the same keys the experiment harness uses mean a
 // /v1/mine request and a Table I run converge on the same entry.
-func (s *Server) viewIndex(region string, categories bool) (*itemset.Index, error) {
-	key := itemset.IndexKey(s.fingerprint, region, categories)
+func (s *Server) viewIndex(sel corpusSel, region string, categories bool) (*itemset.Index, error) {
+	key := itemset.IndexKey(sel.fingerprint, region, categories)
 	return s.indexes.Get(key, func() ([][]ingredient.ID, error) {
-		view := s.corpus.Region(region)
+		view := sel.corpus.Region(region)
 		if region == "" {
-			view = s.corpus.AllView()
+			view = sel.corpus.AllView()
 		}
 		if categories {
 			return view.CategoryTransactions(), nil
@@ -219,11 +270,12 @@ func (s *Server) viewIndex(region string, categories bool) (*itemset.Index, erro
 }
 
 // config builds the per-request experiment configuration. Each request
-// gets a fresh Config sharing the corpus and the index cache (Config
-// lazily memoizes the corpus; sharing the built one keeps requests from
-// regenerating it, and sharing the index cache keeps pipeline runs from
-// rebuilding per-region indexes the handlers already built).
-func (s *Server) config(replicates int) *experiment.Config {
+// gets a fresh Config sharing the selected corpus and the index cache
+// (Config lazily memoizes the corpus; sharing the built one keeps
+// requests from regenerating it, and sharing the index cache keeps
+// pipeline runs from rebuilding per-region indexes the handlers already
+// built — entries are fingerprint-keyed, so corpora never mix).
+func (s *Server) config(sel corpusSel, replicates int) *experiment.Config {
 	cfg := &experiment.Config{
 		Seed:        s.opts.Seed,
 		RecipeScale: s.opts.RecipeScale,
@@ -231,7 +283,7 @@ func (s *Server) config(replicates int) *experiment.Config {
 		Replicates:  replicates,
 		Workers:     s.opts.Workers,
 	}
-	cfg.SetCorpus(s.corpus)
+	cfg.SetCorpus(sel.corpus)
 	cfg.SetIndexes(s.indexes)
 	return cfg
 }
@@ -279,10 +331,12 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 // serveComputed is the shared compute path: cache lookup, then
 // singleflight coalescing, then the semaphore-gated computation. canon
 // must be the canonicalized parameter string — requests that differ
-// only in parameter spelling share a key. compute returns the response
-// value to be rendered as deterministic JSON.
-func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint, canon string, compute func(ctx context.Context) (any, error)) {
-	key := resultKey(s.fingerprint, endpoint, canon)
+// only in parameter spelling share a key — and fingerprint the selected
+// corpus's content fingerprint, which content-addresses the cache entry
+// (the corpus= spelling never reaches the key). compute returns the
+// response value to be rendered as deterministic JSON.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, fingerprint, endpoint, canon string, compute func(ctx context.Context) (any, error)) {
+	key := resultKey(fingerprint, endpoint, canon)
 	etag := `"` + key[:32] + `"`
 	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
 		w.WriteHeader(http.StatusNotModified)
