@@ -19,15 +19,17 @@ FUZZTIME ?= 30s
 # them, and the build-once corpus index (build cost, warm-index queries,
 # and the cold-mine point they beat) — see ISSUE/DESIGN "Performance
 # architecture" and DESIGN.md §12.
-BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4|EvolveRun|EnsembleReplicates|IndexBuild|MineWarmIndex|MineColdSecondPoint
+BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4|EvolveRun|EnsembleReplicates|IndexBuild|MineWarmIndex|MineColdSecondPoint|LiveAppend|MineWarmUnderWrites
 
 # The simulation benchmarks whose allocs/op are hard-gated in CI:
 # allocation counts are deterministic, so this subset can fail the build
 # even on noisy shared runners. MineWarmIndex rides along to keep the
-# pooled warm-query path allocation-flat.
-ALLOC_GATE_PATTERN := EvolveRun|EnsembleReplicates|Fig4|MineWarmIndex
+# pooled warm-query path allocation-flat, and MineWarmUnderWrites keeps
+# the snapshot-then-mine path under a write stream from growing hidden
+# per-query allocations.
+ALLOC_GATE_PATTERN := EvolveRun|EnsembleReplicates|Fig4|MineWarmIndex|MineWarmUnderWrites
 
-.PHONY: check ci serve vet build test race fuzz loadtest bench-smoke bench-baseline benchgate benchgate-allocs corpus-roundtrip
+.PHONY: check ci serve vet build test race fuzz soak loadtest bench-smoke bench-baseline benchgate benchgate-allocs corpus-roundtrip
 
 check: vet build race bench-smoke corpus-roundtrip
 
@@ -60,6 +62,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMineKernels -fuzztime $(FUZZTIME) ./internal/itemset
 	$(GO) test -run '^$$' -fuzz FuzzImportJSONL -fuzztime $(FUZZTIME) ./internal/corpusstore
 	$(GO) test -run '^$$' -fuzz FuzzImportCSV -fuzztime $(FUZZTIME) ./internal/corpusstore
+	$(GO) test -run '^$$' -fuzz FuzzParseRef -fuzztime $(FUZZTIME) ./internal/corpusstore
+
+# soak escalates the metamorphic differential harness: each -count rerun
+# shares the process, so the suites draw a fresh seed block per rerun
+# (soakRuns in live_diff_test.go) — SOAK_COUNT=N explores N disjoint
+# randomized op-stream universes, all under the race detector. Raise
+# SOAK_COUNT for long soaks; CI runs the default.
+SOAK_COUNT ?= 3
+soak:
+	$(GO) test -race -run 'TestLiveDifferentialOpStreams|TestLiveEpochIsolationRace' \
+		-count $(SOAK_COUNT) ./internal/itemset
 
 # loadtest exercises the overload/chaos harness (deadlines, shedding,
 # coalescing under load) with the race detector on — the suite is fully

@@ -20,17 +20,20 @@ import (
 // the directory.
 //
 //	cuisinevol corpus import -dir store -name mydata recipes.jsonl
+//	cuisinevol corpus append -dir store mydata more.jsonl
 //	cuisinevol corpus list -dir store
 //	cuisinevol corpus export -dir store mydata@1 > clean.jsonl
 //	cuisinevol corpus rm -dir store mydata@1
 func cmdCorpus(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cuisinevol corpus <import|list|export|rm> [flags]")
+		return fmt.Errorf("usage: cuisinevol corpus <import|append|list|export|rm> [flags]")
 	}
 	sub, rest := args[0], args[1:]
 	switch sub {
 	case "import":
 		return cmdCorpusImport(rest)
+	case "append":
+		return cmdCorpusAppend(rest)
 	case "list", "ls":
 		return cmdCorpusList(rest)
 	case "export":
@@ -38,7 +41,7 @@ func cmdCorpus(args []string) error {
 	case "rm", "delete":
 		return cmdCorpusRm(rest)
 	}
-	return fmt.Errorf("unknown corpus subcommand %q (use import, list, export or rm)", sub)
+	return fmt.Errorf("unknown corpus subcommand %q (use import, append, list, export or rm)", sub)
 }
 
 // openRegistry opens the store directory and its registry.
@@ -120,6 +123,69 @@ func cmdCorpusImport(args []string) error {
 		st.ResolvedMentions, st.Mentions, 100*st.ResolutionRate())
 	fmt.Printf("  corpus:     %d recipes, %d regions, %d bytes\n",
 		info.Recipes, info.Regions, info.Bytes)
+	for _, issue := range res.ErrorSample {
+		fmt.Printf("  error: record %d (line %d): %s\n", issue.Record, issue.Line, issue.Error)
+	}
+	return nil
+}
+
+// cmdCorpusAppend streams more raw records onto an existing corpus,
+// registering the result as the next version under the same name. The
+// parent version is never mutated — both remain servable side by side.
+func cmdCorpusAppend(args []string) error {
+	fs, dir, budget := corpusStoreFlags("append")
+	format := fs.String("format", "auto", "input format: auto, jsonl or csv")
+	printFP := fs.Bool("print-fingerprint", false, "print only the new corpus fingerprint (for scripting)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: cuisinevol corpus append -dir DIR [flags] REF FILE (use - for stdin)")
+	}
+	f, err := corpusstore.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(1); path != "-" {
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		in = file
+	}
+	reg, err := openRegistry(*dir, *budget)
+	if err != nil {
+		return err
+	}
+	parent, parentInfo, err := reg.Resolve(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := corpusstore.Append(parent, in, corpusstore.ImportOptions{Format: f})
+	if err != nil {
+		return err
+	}
+	if res.Stats.Accepted == 0 {
+		return fmt.Errorf("no records were accepted (%d seen, %d skipped for errors)",
+			res.Stats.RawRecipes, res.Skipped)
+	}
+	info, err := reg.Register(parentInfo.Name, res.Corpus)
+	if err != nil {
+		return err
+	}
+	if *printFP {
+		fmt.Println(info.ID)
+		return nil
+	}
+	st := res.Stats
+	fmt.Printf("appended %d records onto %s -> %s (fingerprint %s)\n",
+		st.Accepted, parentInfo.Ref(), info.Ref(), info.ID)
+	fmt.Printf("  records:    %d seen, %d accepted, %d skipped for errors\n",
+		st.RawRecipes, st.Accepted, res.Skipped)
+	fmt.Printf("  corpus:     %d recipes (%d inherited), %d regions, %d bytes\n",
+		info.Recipes, parentInfo.Recipes, info.Regions, info.Bytes)
 	for _, issue := range res.ErrorSample {
 		fmt.Printf("  error: record %d (line %d): %s\n", issue.Record, issue.Line, issue.Error)
 	}

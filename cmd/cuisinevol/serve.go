@@ -32,6 +32,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	drain := cf.fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	corpusDir := cf.fs.String("corpus-dir", "", "durable corpus store directory (empty = in-memory store)")
 	maxCorporaMB := cf.fs.Int("max-corpora-mb", 0, "corpus store byte budget in MiB (0 = unbounded)")
+	maxUploadMB := cf.fs.Int("max-upload-mb", 0, "per-request corpus upload/append byte budget in MiB (0 = 256 MiB default)")
 	if err := cf.fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +47,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		IndexBytes:  int64(*indexMB) << 20,
 		MaxQueue:    *maxQueue,
 	}
+	opts.MaxUploadBytes = int64(*maxUploadMB) << 20
 	if *timeout <= 0 {
 		opts.Timeout = -1 // deadlines disabled
 	} else {

@@ -2,6 +2,8 @@ package corpusstore
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -89,6 +91,79 @@ func FuzzImportJSONL(f *testing.F) {
 		// (they may parse differently — '{' routes to JSONL, the rest
 		// to CSV).
 		fuzzImport(t, data, FormatAuto)
+	})
+}
+
+// FuzzParseRef drives the reference grammar — the string every corpus=
+// parameter, delete path, and append path goes through — over arbitrary
+// input. Invariants for every input:
+//
+//   - no panic;
+//   - failure is total: a rejected reference yields zero values only;
+//   - success is exclusive: exactly one of (name, id) is set — a
+//     reference is a fingerprint or a name form, never both;
+//   - a fingerprint result matches the fingerprint grammar and carries
+//     no version; a name result passes ValidateName with version 0
+//     (latest) or >= 1 (pinned);
+//   - the canonical rendering of a parsed name@version re-parses to the
+//     identical triple (the grammar round-trips).
+func FuzzParseRef(f *testing.F) {
+	for _, seed := range []string{
+		"tiny",                 // bare name
+		"tiny@3",               // pinned version
+		strings.Repeat("ab", 16), // raw fingerprint
+		strings.Repeat("AB", 16), // uppercase hex is NOT a fingerprint
+		"  padded \t",          // surrounding whitespace
+		"",                     // empty
+		"@",                    // version with no name
+		"a@b@3",                // '@' inside the name part
+		"tiny@0",               // versions are 1-based
+		"tiny@-1",              // negative version
+		"tiny@99999999999999999999", // version overflows int
+		"UPPER",                // case outside the name grammar
+		"-leading-dash",        // bad first rune
+		"name with spaces",
+		"\x00\xff@1",           // binary garbage
+		strings.Repeat("x", 200) + "@2", // name too long
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, ref string) {
+		name, version, id, err := parseRef(ref)
+		if err != nil {
+			if !errors.Is(err, ErrBadRef) {
+				t.Fatalf("parseRef(%q) failed with untyped error %v", ref, err)
+			}
+			if name != "" || version != 0 || id != "" {
+				t.Fatalf("parseRef(%q) returned partial results with error: %q %d %q", ref, name, version, id)
+			}
+			return
+		}
+		if (name == "") == (id == "") {
+			t.Fatalf("parseRef(%q) = name %q, id %q: want exactly one set", ref, name, id)
+		}
+		if id != "" {
+			if !hexIDRe.MatchString(id) {
+				t.Fatalf("parseRef(%q) returned non-fingerprint id %q", ref, id)
+			}
+			if version != 0 {
+				t.Fatalf("parseRef(%q) returned version %d with a fingerprint", ref, version)
+			}
+			return
+		}
+		if err := ValidateName(name); err != nil {
+			t.Fatalf("parseRef(%q) accepted invalid name %q: %v", ref, name, err)
+		}
+		if version < 0 {
+			t.Fatalf("parseRef(%q) returned negative version %d", ref, version)
+		}
+		if version >= 1 {
+			n2, v2, id2, err2 := parseRef(fmt.Sprintf("%s@%d", name, version))
+			if err2 != nil || n2 != name || v2 != version || id2 != "" {
+				t.Fatalf("canonical %s@%d does not round-trip: %q %d %q, %v",
+					name, version, n2, v2, id2, err2)
+			}
+		}
 	})
 }
 

@@ -116,7 +116,32 @@ type Result struct {
 // abort the import.
 func Import(r io.Reader, opts ImportOptions) (*Result, error) {
 	opts.defaults()
+	g, err := ingest.NewIngester(opts.Ingest)
+	if err != nil {
+		return nil, err
+	}
+	return runImport(g, r, opts)
+}
 
+// Append streams raw records onto a clone of base and returns the
+// resulting child corpus — base itself is never mutated, so indexes and
+// in-flight queries pinned to it stay valid. Result.Stats and the error
+// sample cover only the streamed records; the number of recipes
+// appended is Stats.Accepted (the child's recipes [base.Len():]).
+// Limits and per-record error handling are exactly Import's.
+func Append(base *recipe.Corpus, r io.Reader, opts ImportOptions) (*Result, error) {
+	opts.defaults()
+	g, err := ingest.NewAppendingIngester(opts.Ingest, base.Clone())
+	if err != nil {
+		return nil, err
+	}
+	return runImport(g, r, opts)
+}
+
+// runImport is the shared streaming loop behind Import and Append: it
+// wires the format reader and byte budgets around r and feeds records
+// into g until EOF or stream poison.
+func runImport(g *ingest.Ingester, r io.Reader, opts ImportOptions) (*Result, error) {
 	br := bufio.NewReader(r)
 	format := opts.Format
 	if format == FormatAuto {
@@ -146,11 +171,6 @@ func Import(r io.Reader, opts ImportOptions) (*Result, error) {
 		}
 	default:
 		return nil, fmt.Errorf("corpusstore: unsupported import format %v", format)
-	}
-
-	g, err := ingest.NewIngester(opts.Ingest)
-	if err != nil {
-		return nil, err
 	}
 
 	res := &Result{}

@@ -99,6 +99,27 @@ func NewIngester(opts Options) (*Ingester, error) {
 	}, nil
 }
 
+// NewAppendingIngester is NewIngester resolving records onto an existing
+// corpus instead of a fresh one — the append-mode ingest behind corpus
+// version derivation. The base corpus is mutated in place (clone it
+// first to preserve the original) and must be defined over the same
+// lexicon the options select; Stats counts only the records fed to this
+// ingester, not the base's.
+func NewAppendingIngester(opts Options, base *recipe.Corpus) (*Ingester, error) {
+	g, err := NewIngester(opts)
+	if err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return nil, fmt.Errorf("ingest: nil base corpus")
+	}
+	if base.Lexicon() != g.opts.Lexicon {
+		return nil, fmt.Errorf("ingest: base corpus lexicon differs from options lexicon")
+	}
+	g.corpus = base
+	return g, nil
+}
+
 // Record resolves one raw record into the corpus. It reports whether
 // the record was accepted; dropped records are counted in Stats by
 // reason and return (false, nil). A non-nil error means the corpus

@@ -3,6 +3,7 @@ package itemset
 import (
 	"container/list"
 	"strconv"
+	"strings"
 	"sync"
 
 	"cuisinevol/internal/ingredient"
@@ -22,12 +23,13 @@ func IndexKey(corpusFingerprint, region string, categories bool) string {
 
 // IndexCacheStats is a snapshot of an IndexCache's counters.
 type IndexCacheStats struct {
-	Builds    uint64 // index builds executed (singleflight-deduplicated)
-	Hits      uint64 // Gets served from a cached index
-	Misses    uint64 // Gets that had to build (or join an in-flight build)
-	Evictions uint64 // indexes evicted to fit the byte budget
-	Bytes     int64  // retained bytes of cached indexes
-	Entries   int    // cached indexes
+	Builds        uint64 // index builds executed (singleflight-deduplicated)
+	Hits          uint64 // Gets served from a cached index
+	Misses        uint64 // Gets that had to build (or join an in-flight build)
+	Evictions     uint64 // indexes evicted to fit the byte budget
+	Invalidations uint64 // entries removed by InvalidateFingerprint
+	Bytes         int64  // retained bytes of cached indexes
+	Entries       int    // cached indexes
 }
 
 // IndexCache is a byte-budget LRU of immutable corpus indexes with
@@ -42,7 +44,7 @@ type IndexCache struct {
 	entries map[string]*list.Element
 	flight  map[string]*indexCall
 
-	builds, hits, misses, evictions uint64
+	builds, hits, misses, evictions, invalidations uint64
 }
 
 type indexEntry struct {
@@ -143,16 +145,54 @@ func (c *IndexCache) put(key string, ix *Index) {
 	c.used += size
 }
 
+// Put inserts an externally built index — a LiveIndex snapshot derived
+// incrementally, rather than built from a source callback — under key.
+// The usual budget and LRU rules apply; an index wider than the whole
+// budget is simply not retained. A racing or pre-existing entry for the
+// same key is kept (same key means same content fingerprint, so the
+// incumbent is equivalent).
+func (c *IndexCache) Put(key string, ix *Index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, ix)
+}
+
+// InvalidateFingerprint removes every cached index derived from the
+// given corpus fingerprint (any region/category view) and reports how
+// many were dropped. Callers use this when a corpus is deleted so its
+// indexes do not sit unreachable-but-resident until LRU pressure.
+// Because cached indexes are immutable, invalidation never breaks
+// holders: an *Index pinned by an in-flight query stays valid and
+// byte-deterministic after removal, exactly as after eviction.
+func (c *IndexCache) InvalidateFingerprint(fp string) int {
+	prefix := fp + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for key, el := range c.entries {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.used -= el.Value.(*indexEntry).ix.Bytes()
+		removed++
+	}
+	c.invalidations += uint64(removed)
+	return removed
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *IndexCache) Stats() IndexCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return IndexCacheStats{
-		Builds:    c.builds,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Bytes:     c.used,
-		Entries:   len(c.entries),
+		Builds:        c.builds,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Bytes:         c.used,
+		Entries:       len(c.entries),
 	}
 }

@@ -165,6 +165,46 @@ func (c *Corpus) Fingerprint() string {
 	return c.fp
 }
 
+// Clone returns an independent corpus with the same recipes, for
+// append-style derivation: the clone can keep growing without mutating
+// the original. Recipe values are copied by value — the Ingredients
+// slices are shared, which is safe because recipes are immutable once
+// added — and the fingerprint memo carries over (it is valid for the
+// shared prefix and recomputed automatically once the clone grows).
+func (c *Corpus) Clone() *Corpus {
+	c.fpMu.Lock()
+	fp, fpLen := c.fp, c.fpLen
+	c.fpMu.Unlock()
+	out := &Corpus{
+		lex:      c.lex,
+		recipes:  append([]Recipe(nil), c.recipes...),
+		byRegion: make(map[string][]int, len(c.byRegion)),
+		fp:       fp,
+		fpLen:    fpLen,
+	}
+	for region, idx := range c.byRegion {
+		out.byRegion[region] = append([]int(nil), idx...)
+	}
+	return out
+}
+
+// TailView returns a view over the recipes appended at or after index
+// from — the delta between a corpus and the ancestor it was cloned
+// from. from is clamped to [0, Len].
+func (c *Corpus) TailView(from int) View {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(c.recipes) {
+		from = len(c.recipes)
+	}
+	idx := make([]int, len(c.recipes)-from)
+	for i := range idx {
+		idx[i] = from + i
+	}
+	return View{corpus: c, indices: idx, region: ""}
+}
+
 // Regions returns the region codes present, sorted lexicographically.
 func (c *Corpus) Regions() []string {
 	out := make([]string, 0, len(c.byRegion))

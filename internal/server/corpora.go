@@ -80,7 +80,9 @@ func toUploadStats(s ingest.Stats) uploadStats {
 
 // corpusError maps the store's typed failures onto HTTP statuses:
 // ErrNotFound → 404, ErrBadName/ErrBadRef → 400, ErrNameTaken → 409,
-// ErrTooLarge → 413.
+// ErrTooLarge → 413, ErrCorrupt → 500 (server-side data damage is never
+// the client's fault). The mapping is pinned endpoint-by-endpoint by
+// TestCorpusErrorMapping.
 func corpusError(err error) error {
 	switch {
 	case errors.Is(err, corpusstore.ErrNotFound):
@@ -91,6 +93,8 @@ func corpusError(err error) error {
 		return &httpError{status: http.StatusConflict, msg: err.Error()}
 	case errors.Is(err, corpusstore.ErrTooLarge):
 		return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+	case errors.Is(err, corpusstore.ErrCorrupt):
+		return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
 	return err
 }
@@ -115,8 +119,9 @@ func (s *Server) handleCorpusUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := corpusstore.Import(r.Body, corpusstore.ImportOptions{
-		Format: format,
-		Ingest: ingest.Options{Lexicon: s.registry.Lexicon()},
+		Format:        format,
+		Ingest:        ingest.Options{Lexicon: s.registry.Lexicon()},
+		MaxTotalBytes: s.opts.MaxUploadBytes,
 	})
 	if err != nil {
 		s.writeError(w, corpusError(err))
@@ -172,17 +177,27 @@ func (s *Server) handleCorpusList(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCorpusDelete removes the corpus the path id names (a name,
-// name@version, or raw fingerprint). In-flight requests that already
-// resolved it finish against their pinned corpus; cached results stay
-// valid — their keys are content-addressed, and the entries simply age
-// out of the LRU once nothing requests them.
+// name@version, or fingerprint). In-flight requests that already
+// resolved it finish against their pinned corpus — cached *results*
+// stay valid (content-addressed keys, LRU aging) — but the deleted
+// corpus's *index* entries are invalidated eagerly: index entries are
+// large and fingerprint-keyed, so without explicit invalidation they
+// would sit unreachable-but-resident until byte pressure. Invalidation
+// never touches an *Index a query already holds (immutability makes
+// removal equivalent to eviction), and the corpus's live write head, if
+// any, is dropped with it.
 func (s *Server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
 	info, err := s.registry.Delete(r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, corpusError(err))
 		return
 	}
-	body, err := marshalDeterministic(map[string]any{"deleted": toCorpusRow(info)})
+	invalidated := s.indexes.InvalidateFingerprint(info.ID)
+	s.live.drop(info.ID)
+	body, err := marshalDeterministic(map[string]any{
+		"deleted":             toCorpusRow(info),
+		"invalidated_indexes": invalidated,
+	})
 	if err != nil {
 		s.writeError(w, err)
 		return

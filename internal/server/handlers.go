@@ -40,6 +40,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/corpora", s.instrument("/v1/corpora", s.handleCorpusUpload))
 	s.mux.Handle("GET /v1/corpora", s.instrument("/v1/corpora", s.handleCorpusList))
 	s.mux.Handle("DELETE /v1/corpora/{id}", s.instrument("/v1/corpora/{id}", s.handleCorpusDelete))
+	s.mux.Handle("POST /v1/corpora/{id}/append", s.instrument("/v1/corpora/{id}/append", s.handleCorpusAppend))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -55,7 +56,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache, s.indexes, s.registry)
+	s.metrics.WriteTo(w, s.cache, s.indexes, s.registry, s.live)
 }
 
 // cuisineInfo is one row of /v1/cuisines.

@@ -35,6 +35,12 @@ type metrics struct {
 	inflight     atomic.Int64  // computations currently holding a compute slot
 	waiting      atomic.Int64  // computations queued on the compute semaphore
 
+	// Live-index (incremental append) counters.
+	liveAppends    atomic.Uint64 // append operations served through a live head
+	liveAppendedTx atomic.Uint64 // transactions appended incrementally (delta sizes)
+	liveSeeds      atomic.Uint64 // live heads seeded by a full O(n) build
+	liveSnapshots  atomic.Uint64 // epoch snapshots materialized into the index cache
+
 	shedComputations atomic.Uint64 // computations rejected at admission (queue full)
 	deadlineTimeouts atomic.Uint64 // requests that exceeded their deadline budget
 	// chaosInjected counts injected faults by Fault kind (all zero when
@@ -85,7 +91,7 @@ func (m *metrics) observe(endpoint string, status int, seconds float64) {
 // WriteTo renders the registry in Prometheus text exposition format
 // (version 0.0.4). Families and label values are emitted in sorted
 // order.
-func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.IndexCache, registry *corpusstore.Registry) error {
+func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.IndexCache, registry *corpusstore.Registry, live *liveSet) error {
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.requests))
 	for ep := range m.requests {
@@ -162,6 +168,9 @@ func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.Inde
 	appendf("# HELP cuisinevol_index_evictions_total Indexes evicted to fit the byte budget.\n")
 	appendf("# TYPE cuisinevol_index_evictions_total counter\n")
 	appendf("cuisinevol_index_evictions_total %d\n", ist.Evictions)
+	appendf("# HELP cuisinevol_index_invalidations_total Index entries dropped by fingerprint invalidation (corpus deletes).\n")
+	appendf("# TYPE cuisinevol_index_invalidations_total counter\n")
+	appendf("cuisinevol_index_invalidations_total %d\n", ist.Invalidations)
 	appendf("# HELP cuisinevol_index_bytes Bytes of prebuilt corpus indexes currently retained.\n")
 	appendf("# TYPE cuisinevol_index_bytes gauge\n")
 	appendf("cuisinevol_index_bytes %d\n", ist.Bytes)
@@ -197,6 +206,26 @@ func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.Inde
 	appendf("# HELP cuisinevol_corpus_store_entries Corpora in the backing store.\n")
 	appendf("# TYPE cuisinevol_corpus_store_entries gauge\n")
 	appendf("cuisinevol_corpus_store_entries %d\n", rst.StoreEntries)
+
+	liveHeads, liveEpochs := live.snapshotStats()
+	appendf("# HELP cuisinevol_live_appends_total Corpus appends served through an incremental live-index head.\n")
+	appendf("# TYPE cuisinevol_live_appends_total counter\n")
+	appendf("cuisinevol_live_appends_total %d\n", m.liveAppends.Load())
+	appendf("# HELP cuisinevol_live_appended_tx_total Transactions appended incrementally (delta sizes, O(delta) each).\n")
+	appendf("# TYPE cuisinevol_live_appended_tx_total counter\n")
+	appendf("cuisinevol_live_appended_tx_total %d\n", m.liveAppendedTx.Load())
+	appendf("# HELP cuisinevol_live_seeds_total Live heads seeded by a full corpus build (cold lineage, restart, or head eviction).\n")
+	appendf("# TYPE cuisinevol_live_seeds_total counter\n")
+	appendf("cuisinevol_live_seeds_total %d\n", m.liveSeeds.Load())
+	appendf("# HELP cuisinevol_live_snapshots_total Epoch snapshots materialized into the index cache by appends.\n")
+	appendf("# TYPE cuisinevol_live_snapshots_total counter\n")
+	appendf("cuisinevol_live_snapshots_total %d\n", m.liveSnapshots.Load())
+	appendf("# HELP cuisinevol_live_heads Live-index write heads currently retained.\n")
+	appendf("# TYPE cuisinevol_live_heads gauge\n")
+	appendf("cuisinevol_live_heads %d\n", liveHeads)
+	appendf("# HELP cuisinevol_live_epochs Summed mutation epochs across retained live heads.\n")
+	appendf("# TYPE cuisinevol_live_epochs gauge\n")
+	appendf("cuisinevol_live_epochs %d\n", liveEpochs)
 
 	appendf("# HELP cuisinevol_coalesced_requests_total Requests served by joining an identical in-flight computation.\n")
 	appendf("# TYPE cuisinevol_coalesced_requests_total counter\n")

@@ -76,6 +76,13 @@ func TestMetricsExpositionParses(t *testing.T) {
 		"cuisinevol_index_evictions_total":         "counter",
 		"cuisinevol_index_bytes":                   "gauge",
 		"cuisinevol_index_entries":                 "gauge",
+		"cuisinevol_index_invalidations_total":     "counter",
+		"cuisinevol_live_appends_total":            "counter",
+		"cuisinevol_live_appended_tx_total":        "counter",
+		"cuisinevol_live_seeds_total":              "counter",
+		"cuisinevol_live_snapshots_total":          "counter",
+		"cuisinevol_live_heads":                    "gauge",
+		"cuisinevol_live_epochs":                   "gauge",
 	} {
 		if got := types[family]; got != kind {
 			t.Errorf("family %s: TYPE %q (want %q)", family, got, kind)

@@ -71,6 +71,10 @@ type Options struct {
 	// survive a restart. Wire a filesystem-backed registry (see
 	// corpusstore.OpenFS) for durability.
 	Registry *corpusstore.Registry
+	// MaxUploadBytes bounds the total input bytes a corpus upload or
+	// append may stream (ErrTooLarge → 413 beyond it); <= 0 selects the
+	// corpusstore default (256 MiB).
+	MaxUploadBytes int64
 	// Timeout is the per-request compute deadline for the heavy pipeline
 	// endpoints; lighter endpoints get a fraction of it (endpointBudget).
 	// 0 selects the 2-minute default; negative disables deadlines.
@@ -94,6 +98,7 @@ type Server struct {
 	registry    *corpusstore.Registry
 	cache       *resultCache
 	indexes     *itemset.IndexCache
+	live        *liveSet
 	flight      *flightGroup
 	admit       *admission
 	chaos       *chaos
@@ -161,6 +166,7 @@ func New(opts Options) (*Server, error) {
 		registry:    registry,
 		cache:       newResultCache(opts.CacheBytes),
 		indexes:     itemset.NewIndexCache(opts.IndexBytes),
+		live:        newLiveSet(),
 		flight:      newFlightGroup(),
 		admit:       newAdmission(opts.Compute, opts.MaxQueue, shedRetryAfter, m),
 		chaos:       newChaos(opts.Chaos, m),
@@ -245,7 +251,9 @@ func (s *Server) selectCorpus(r *http.Request) (corpusSel, error) {
 	case errors.Is(err, corpusstore.ErrBadRef):
 		return corpusSel{}, badRequest("invalid corpus reference %q", ref)
 	default:
-		return corpusSel{}, err
+		// Remaining typed store failures (e.g. ErrCorrupt) keep their
+		// canonical status mapping on the analytics endpoints too.
+		return corpusSel{}, corpusError(err)
 	}
 }
 
