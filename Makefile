@@ -5,6 +5,7 @@
 #   make serve           run the HTTP analytics service on :8080
 #   make fuzz            run every fuzz target for FUZZTIME (default 30s) each
 #   make loadtest        race-enabled overload/loadtest suite for the server
+#   make loadtest-cluster  3-node ring invariant harness under -race
 #   make corpus-roundtrip  import → export → re-import fingerprint gate via the CLI
 #   make bench-baseline  full benchmark run, recorded to BENCH_fig_pipeline.json
 #   make bench-smoke     1-iteration benchmark pass (fast; same JSON output)
@@ -29,7 +30,7 @@ BENCH_PATTERN := FPGrowth|Eclat|MineAuto|Fig3|Fig4|EvolveRun|EnsembleReplicates|
 # per-query allocations.
 ALLOC_GATE_PATTERN := EvolveRun|EnsembleReplicates|Fig4|MineWarmIndex|MineWarmUnderWrites
 
-.PHONY: check ci serve vet build test race fuzz soak loadtest bench-smoke bench-baseline benchgate benchgate-allocs corpus-roundtrip
+.PHONY: check ci serve vet build test race fuzz soak loadtest loadtest-cluster bench-smoke bench-baseline benchgate benchgate-allocs corpus-roundtrip
 
 check: vet build race bench-smoke corpus-roundtrip
 
@@ -51,8 +52,11 @@ build:
 test:
 	$(GO) test ./...
 
+# race mirrors the CI test job: -shuffle=on randomizes test order per
+# package so order dependencies surface (the failing seed is printed
+# for reproduction with -shuffle=<seed>).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # fuzz runs each native fuzz target for FUZZTIME. Go allows one -fuzz
 # pattern per package invocation, so the targets run sequentially.
@@ -79,6 +83,14 @@ soak:
 # event-driven, so -race adds coverage without adding flakiness.
 loadtest:
 	$(GO) test -race -count=1 ./internal/server/...
+
+# loadtest-cluster runs only the multi-node invariant harness: three
+# in-process nodes behind the consistent-hash ring, replaying
+# deterministic workloads (including chaos and a kill/restart-from-
+# snapshot) under the race detector, -count=3 so schedule-sensitive
+# interleavings get several chances to go wrong.
+loadtest-cluster:
+	$(GO) test -race -count=3 -run 'TestCluster' ./internal/server/loadtest
 
 # bench-smoke keeps `make check` fast (one iteration per benchmark) while
 # still exercising every benchmarked pipeline end to end and refreshing

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"cuisinevol/internal/corpusstore"
@@ -33,6 +34,11 @@ func cmdServe(ctx context.Context, args []string) error {
 	corpusDir := cf.fs.String("corpus-dir", "", "durable corpus store directory (empty = in-memory store)")
 	maxCorporaMB := cf.fs.Int("max-corpora-mb", 0, "corpus store byte budget in MiB (0 = unbounded)")
 	maxUploadMB := cf.fs.Int("max-upload-mb", 0, "per-request corpus upload/append byte budget in MiB (0 = 256 MiB default)")
+	nodeID := cf.fs.String("node-id", "", "this node's identity in a multi-node tier (requires -peers)")
+	peerList := cf.fs.String("peers", "", "comma-separated id=baseURL peer list, including this node (e.g. n0=http://10.0.0.1:8080,n1=http://10.0.0.2:8080)")
+	peerVnodes := cf.fs.Int("peer-vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = default)")
+	peerFallback := cf.fs.Int("peer-fallback", 0, "concurrent local computations allowed for keys whose owner is unreachable (0 = compute-pool size)")
+	snapshotPath := cf.fs.String("cache-snapshot", "", "result-cache snapshot file: restored at startup, written on graceful shutdown")
 	if err := cf.fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +54,19 @@ func cmdServe(ctx context.Context, args []string) error {
 		MaxQueue:    *maxQueue,
 	}
 	opts.MaxUploadBytes = int64(*maxUploadMB) << 20
+	if *peerList != "" {
+		peers, err := parsePeerList(*peerList)
+		if err != nil {
+			return err
+		}
+		opts.NodeID = *nodeID
+		opts.Peers = peers
+		opts.PeerVnodes = *peerVnodes
+		opts.PeerFallback = *peerFallback
+	} else if *nodeID != "" {
+		return fmt.Errorf("serve: -node-id requires -peers")
+	}
+	opts.CacheSnapshotPath = *snapshotPath
 	if *timeout <= 0 {
 		opts.Timeout = -1 // deadlines disabled
 	} else {
@@ -98,6 +117,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "cuisinevol serve: listening on %s (corpus %s, compute=%d, cache=%dMiB, timeout=%s)\n",
 		ln.Addr(), srv.Fingerprint(), *compute, *cacheMB, *timeout)
+	if *peerList != "" {
+		fmt.Fprintf(os.Stderr, "cuisinevol serve: node %s joined peer ring %s\n", srv.NodeID(), *peerList)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -115,5 +137,39 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// Persist the warm cache once the listener is quiet, so a restart
+	// with the same flag comes back warm instead of recomputing.
+	if *snapshotPath != "" {
+		n, err := srv.SaveCacheSnapshot()
+		if err != nil {
+			return fmt.Errorf("cache snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cuisinevol serve: wrote %d cache entries to %s\n", n, *snapshotPath)
+	}
 	return nil
+}
+
+// parsePeerList parses "id=baseURL,id=baseURL,..." into the peer map
+// server.Options carries. Identities and URLs must be non-empty;
+// duplicate identities are an error rather than a silent overwrite.
+func parsePeerList(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, base, ok := strings.Cut(part, "=")
+		if !ok || id == "" || base == "" {
+			return nil, fmt.Errorf("serve: malformed -peers entry %q (want id=baseURL)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("serve: duplicate peer id %q in -peers", id)
+		}
+		peers[id] = base
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("serve: -peers given but no peers parsed")
+	}
+	return peers, nil
 }

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"cuisinevol/internal/randx"
+)
+
+// randMatrix builds a seeded symmetric distance matrix with zero
+// diagonal and distinct off-diagonal entries in (0, 1) — general
+// position, so no property below depends on tie-breaking.
+func randMatrix(seed uint64, n int) [][]float64 {
+	rng := randx.New(seed)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rng.Float64()
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+func labelsN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("L%02d", i)
+	}
+	return out
+}
+
+func mergeDistances(t *testing.T, dist [][]float64, linkage Linkage) []float64 {
+	t.Helper()
+	den, err := Agglomerate(labelsN(len(dist)), dist, linkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(den.Merges))
+	for i, m := range den.Merges {
+		out[i] = m.Distance
+	}
+	return out
+}
+
+// TestLinkageMergeDistancesMonotone: single, complete and average are
+// reducible linkages, so the Lance-Williams agglomeration never
+// produces an inversion — merge distances are non-decreasing.
+func TestLinkageMergeDistancesMonotone(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, n := range []int{2, 3, 5, 8, 12} {
+			dist := randMatrix(seed*1000+uint64(n), n)
+			for _, linkage := range []Linkage{Single, Average, Complete} {
+				ds := mergeDistances(t, dist, linkage)
+				for i := 1; i < len(ds); i++ {
+					if ds[i] < ds[i-1]-1e-12 {
+						t.Fatalf("seed=%d n=%d %s: inversion at merge %d: %v < %v",
+							seed, n, linkage, i, ds[i], ds[i-1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// leafSets replays a dendrogram's merges and returns, for every merge,
+// the two leaf-index sets it joined.
+func leafSets(den *Dendrogram) [][2][]int {
+	n := len(den.Labels)
+	leaves := make(map[int][]int, n+len(den.Merges))
+	for i := 0; i < n; i++ {
+		leaves[i] = []int{i}
+	}
+	out := make([][2][]int, len(den.Merges))
+	for i, m := range den.Merges {
+		out[i] = [2][]int{leaves[m.A], leaves[m.B]}
+		merged := append(append([]int(nil), leaves[m.A]...), leaves[m.B]...)
+		leaves[n+i] = merged
+	}
+	return out
+}
+
+// bruteForce computes min, mean and max pairwise distance between two
+// leaf sets straight from the original matrix — the definitions the
+// Lance-Williams recurrences are meant to maintain incrementally.
+func bruteForce(dist [][]float64, a, b []int) (lo, mean, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, i := range a {
+		for _, j := range b {
+			d := dist[i][j]
+			lo = math.Min(lo, d)
+			hi = math.Max(hi, d)
+			sum += d
+		}
+	}
+	return lo, sum / float64(len(a)*len(b)), hi
+}
+
+// TestLanceWilliamsMatchesBruteForce is the linkage-ordering property
+// in its rigorous form. For every merge any linkage performs, the
+// merged pair's set distances obey min ≤ mean ≤ max (single ≤ average
+// ≤ complete over the same two clusters), and the incrementally
+// maintained Lance-Williams distance equals the brute-force definition
+// computed from the original matrix: exact min for single linkage,
+// exact unweighted mean (UPGMA) for average, exact max for complete.
+// Any drift in the update coefficients breaks the equality.
+func TestLanceWilliamsMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, n := range []int{2, 3, 4, 6, 9, 12} {
+			dist := randMatrix(seed*7919+uint64(n), n)
+			for _, linkage := range []Linkage{Single, Average, Complete} {
+				den, err := Agglomerate(labelsN(n), dist, linkage)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, sets := range leafSets(den) {
+					lo, mean, hi := bruteForce(dist, sets[0], sets[1])
+					if lo > mean+1e-12 || mean > hi+1e-12 {
+						t.Fatalf("seed=%d n=%d %s merge %d: min %v, mean %v, max %v out of order",
+							seed, n, linkage, i, lo, mean, hi)
+					}
+					var want float64
+					switch linkage {
+					case Single:
+						want = lo
+					case Average:
+						want = mean
+					case Complete:
+						want = hi
+					}
+					got := den.Merges[i].Distance
+					if math.Abs(got-want) > 1e-9 {
+						t.Fatalf("seed=%d n=%d %s merge %d: LW distance %v, brute force %v",
+							seed, n, linkage, i, got, want)
+					}
+					// The merge height is always bracketed by the single
+					// and complete set distances of the joined pair.
+					if got < lo-1e-9 || got > hi+1e-9 {
+						t.Fatalf("seed=%d n=%d %s merge %d: distance %v outside [min %v, max %v]",
+							seed, n, linkage, i, got, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFirstMergeAgreesAcrossLinkages: before any cluster has more than
+// one leaf, every linkage sees the raw matrix, so all three must make
+// the same first merge at the global minimum pairwise distance.
+func TestFirstMergeAgreesAcrossLinkages(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		n := 8
+		dist := randMatrix(seed*104729, n)
+		globalMin := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				globalMin = math.Min(globalMin, dist[i][j])
+			}
+		}
+		for _, linkage := range []Linkage{Single, Average, Complete} {
+			ds := mergeDistances(t, dist, linkage)
+			if ds[0] != globalMin {
+				t.Fatalf("seed=%d %s: first merge at %v, global min %v", seed, linkage, ds[0], globalMin)
+			}
+		}
+	}
+}
+
+// TestAgglomeratePermutationInvariant: relabeling the items (permuting
+// the matrix) must not change the merge-distance profile — clustering
+// is a property of the metric space, not of input order.
+func TestAgglomeratePermutationInvariant(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		n := 9
+		dist := randMatrix(seed*31, n)
+		perm := randx.New(seed * 37).Perm(n)
+		permuted := make([][]float64, n)
+		for i := range permuted {
+			permuted[i] = make([]float64, n)
+			for j := range permuted[i] {
+				permuted[i][j] = dist[perm[i]][perm[j]]
+			}
+		}
+		for _, linkage := range []Linkage{Single, Average, Complete} {
+			a := mergeDistances(t, dist, linkage)
+			b := mergeDistances(t, permuted, linkage)
+			sort.Float64s(a)
+			sort.Float64s(b)
+			for i := range a {
+				if math.Abs(a[i]-b[i]) > 1e-9 {
+					t.Fatalf("seed=%d %s: merge profile changed under permutation: %v vs %v",
+						seed, linkage, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestDendrogramStructure: every merge's size is the sum of its
+// children's leaf counts, the final merge covers all leaves, and Cut(k)
+// is a partition of the labels into exactly k groups for every k.
+func TestDendrogramStructure(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		n := 2 + int(seed)
+		labels := labelsN(n)
+		den, err := Agglomerate(labels, randMatrix(seed*101, n), Average)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(den.Merges) != n-1 {
+			t.Fatalf("n=%d: %d merges, want %d", n, len(den.Merges), n-1)
+		}
+		sizes := make([]int, n+len(den.Merges))
+		for i := 0; i < n; i++ {
+			sizes[i] = 1
+		}
+		for i, m := range den.Merges {
+			want := sizes[m.A] + sizes[m.B]
+			if m.Size != want {
+				t.Fatalf("merge %d: size %d, children sum %d", i, m.Size, want)
+			}
+			sizes[n+i] = m.Size
+		}
+		if last := den.Merges[len(den.Merges)-1].Size; last != n {
+			t.Fatalf("root covers %d leaves, want %d", last, n)
+		}
+		for k := 1; k <= n; k++ {
+			groups := den.Cut(k)
+			if len(groups) != k {
+				t.Fatalf("Cut(%d) produced %d groups", k, len(groups))
+			}
+			seen := make(map[string]bool)
+			for _, g := range groups {
+				for _, l := range g {
+					if seen[l] {
+						t.Fatalf("Cut(%d): label %s in two groups", k, l)
+					}
+					seen[l] = true
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("Cut(%d) covered %d labels, want %d", k, len(seen), n)
+			}
+		}
+	}
+}
+
+// TestCosineDistanceBounds: cosine distance is symmetric, zero on the
+// diagonal and bounded in [0, 2]; zero vectors sit at distance 1 from
+// everything else.
+func TestCosineDistanceBounds(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rng := randx.New(seed * 13)
+		n, dim := 8, 12
+		vectors := make([][]float64, n)
+		for i := range vectors {
+			vectors[i] = make([]float64, dim)
+			for j := range vectors[i] {
+				// Mix signs so similarity can go negative (distance > 1).
+				vectors[i][j] = rng.Float64()*2 - 1
+			}
+		}
+		vectors[n-1] = make([]float64, dim) // zero vector
+		d := CosineDistance(vectors)
+		for i := 0; i < n; i++ {
+			if d[i][i] != 0 {
+				t.Fatalf("diagonal (%d,%d) = %v", i, i, d[i][i])
+			}
+			for j := 0; j < n; j++ {
+				if d[i][j] != d[j][i] {
+					t.Fatalf("asymmetric at (%d,%d)", i, j)
+				}
+				if d[i][j] < 0 || d[i][j] > 2 {
+					t.Fatalf("out of bounds at (%d,%d): %v", i, j, d[i][j])
+				}
+			}
+			if i != n-1 && d[i][n-1] != 1 {
+				t.Fatalf("zero vector distance to %d = %v, want 1", i, d[i][n-1])
+			}
+		}
+	}
+}

@@ -109,21 +109,21 @@ func FuzzImportJSONL(f *testing.F) {
 //     identical triple (the grammar round-trips).
 func FuzzParseRef(f *testing.F) {
 	for _, seed := range []string{
-		"tiny",                 // bare name
-		"tiny@3",               // pinned version
-		strings.Repeat("ab", 16), // raw fingerprint
-		strings.Repeat("AB", 16), // uppercase hex is NOT a fingerprint
-		"  padded \t",          // surrounding whitespace
-		"",                     // empty
-		"@",                    // version with no name
-		"a@b@3",                // '@' inside the name part
-		"tiny@0",               // versions are 1-based
-		"tiny@-1",              // negative version
+		"tiny",                      // bare name
+		"tiny@3",                    // pinned version
+		strings.Repeat("ab", 16),    // raw fingerprint
+		strings.Repeat("AB", 16),    // uppercase hex is NOT a fingerprint
+		"  padded \t",               // surrounding whitespace
+		"",                          // empty
+		"@",                         // version with no name
+		"a@b@3",                     // '@' inside the name part
+		"tiny@0",                    // versions are 1-based
+		"tiny@-1",                   // negative version
 		"tiny@99999999999999999999", // version overflows int
-		"UPPER",                // case outside the name grammar
-		"-leading-dash",        // bad first rune
+		"UPPER",                     // case outside the name grammar
+		"-leading-dash",             // bad first rune
 		"name with spaces",
-		"\x00\xff@1",           // binary garbage
+		"\x00\xff@1",                    // binary garbage
 		strings.Repeat("x", 200) + "@2", // name too long
 	} {
 		f.Add(seed)

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// goldenDiversityPath is the committed diversity reference file.
+const goldenDiversityPath = "../../results/golden_diversity.json"
+
+// goldenMerge is one dendrogram merge in the golden document.
+type goldenMerge struct {
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	Distance float64 `json:"distance"`
+	Size     int     `json:"size"`
+}
+
+// goldenDiversityDoc pins the §III diversity clustering end to end:
+// leaf order, every merge (pair, distance, size) and the flat Cut(5)
+// partition. Any drift in corpus generation, usage profiles, cosine
+// distance or the Lance-Williams update fails the byte comparison.
+type goldenDiversityDoc struct {
+	Seed        uint64        `json:"seed"`
+	RecipeScale float64       `json:"recipe_scale"`
+	Linkage     string        `json:"linkage"`
+	K           int           `json:"k"`
+	Labels      []string      `json:"labels"`
+	Merges      []goldenMerge `json:"merges"`
+	Clusters    [][]string    `json:"clusters"`
+}
+
+// computeDiversityGoldenBytes runs the diversity pipeline under the
+// given worker budget and renders its canonical byte form.
+func computeDiversityGoldenBytes(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := DefaultConfig(42)
+	cfg.RecipeScale = 0.05
+	cfg.Replicates = 2
+	cfg.Workers = workers
+	res, err := RunDiversity(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := goldenDiversityDoc{
+		Seed:        cfg.Seed,
+		RecipeScale: cfg.RecipeScale,
+		Linkage:     "average",
+		K:           res.K,
+		Labels:      res.Dendrogram.Labels,
+		Clusters:    res.Clusters,
+	}
+	for _, m := range res.Dendrogram.Merges {
+		doc.Merges = append(doc.Merges, goldenMerge{A: m.A, B: m.B, Distance: m.Distance, Size: m.Size})
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestGoldenDiversity pins the seeded diversity dendrogram to the
+// committed reference byte for byte. Run with -update to bless an
+// intentional change.
+func TestGoldenDiversity(t *testing.T) {
+	got := computeDiversityGoldenBytes(t, 0)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenDiversityPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDiversityPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden diversity file updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenDiversityPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("diversity output drifted from %s (regenerate with -update if intended)\ngot %d bytes, want %d",
+			goldenDiversityPath, len(got), len(want))
+	}
+}
+
+// TestGoldenDiversityStableAcrossParallelism recomputes the dendrogram
+// under different worker budgets and GOMAXPROCS and asserts the bytes
+// never move: the clustering is a pure function of the seeded corpus,
+// not of the schedule that built it.
+func TestGoldenDiversityStableAcrossParallelism(t *testing.T) {
+	base := computeDiversityGoldenBytes(t, 0)
+	for _, workers := range []int{1, 2, 8} {
+		if got := computeDiversityGoldenBytes(t, workers); !bytes.Equal(base, got) {
+			t.Fatalf("Workers=%d changed the dendrogram bytes", workers)
+		}
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if got := computeDiversityGoldenBytes(t, 0); !bytes.Equal(base, got) {
+		t.Fatal("GOMAXPROCS=1 changed the dendrogram bytes")
+	}
+}

@@ -52,11 +52,16 @@ type indexEntry struct {
 	ix  *Index
 }
 
-// indexCall is one in-flight build; waiters block on done.
+// indexCall is one in-flight build; waiters block on done. dropped is
+// set (under IndexCache.mu) when the build's fingerprint is invalidated
+// mid-flight: waiters still receive the built index — it is immutable
+// and valid — but the completion must not cache it, or a deleted
+// corpus's index would resurrect and sit on the byte budget.
 type indexCall struct {
-	done chan struct{}
-	ix   *Index
-	err  error
+	done    chan struct{}
+	ix      *Index
+	err     error
+	dropped bool
 }
 
 // NewIndexCache returns a cache bounded at budget bytes of retained
@@ -101,7 +106,13 @@ func (c *IndexCache) Get(key string, source func() ([][]ingredient.ID, error)) (
 
 	c.mu.Lock()
 	delete(c.flight, key)
-	if call.err == nil {
+	switch {
+	case call.dropped:
+		// Invalidated while building: hand the result to waiters but
+		// keep it out of the cache, and count the drop with the entries
+		// InvalidateFingerprint removed directly.
+		c.invalidations++
+	case call.err == nil:
 		c.put(key, call.ix)
 	}
 	c.mu.Unlock()
@@ -179,6 +190,14 @@ func (c *IndexCache) InvalidateFingerprint(fp string) int {
 		removed++
 	}
 	c.invalidations += uint64(removed)
+	// Builds still in flight for this fingerprint must not land in the
+	// cache when they complete — without this, a Get racing the
+	// invalidation resurrects the deleted corpus's index.
+	for key, call := range c.flight {
+		if strings.HasPrefix(key, prefix) {
+			call.dropped = true
+		}
+	}
 	return removed
 }
 

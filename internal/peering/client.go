@@ -1,0 +1,159 @@
+package peering
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// PeerHeader marks a request as forwarded by a peer. The owner serves
+// such a request locally no matter what its own ring says — one hop,
+// never a loop, even while two nodes transiently disagree about
+// membership.
+const PeerHeader = "X-Cuisinevol-Peer"
+
+// ForwardResult is the owner's response to a forwarded request, fully
+// buffered so the caller can both relay it and fill its local cache.
+type ForwardResult struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// Client forwards requests to peer nodes. It is an http.RoundTripper
+// away from the network: production uses a real transport, in-process
+// clusters (the loadtest harness) a MemTransport, so the proxy path
+// under test is byte-for-byte the production path.
+type Client struct {
+	self  string
+	bases map[string]*url.URL // member id -> base URL
+	rt    http.RoundTripper
+}
+
+// NewClient builds a forwarding client for the given peer set. peers
+// maps member ids to base URLs (scheme://host[:port]); self names this
+// node and stamps PeerHeader on every forwarded request. rt nil selects
+// http.DefaultTransport.
+func NewClient(self string, peers map[string]string, rt http.RoundTripper) (*Client, error) {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	bases := make(map[string]*url.URL, len(peers))
+	for id, raw := range peers {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("peering: peer %s: bad base URL %q: %w", id, raw, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("peering: peer %s: base URL %q needs scheme and host", id, raw)
+		}
+		bases[id] = u
+	}
+	return &Client{self: self, bases: bases, rt: rt}, nil
+}
+
+// Forward relays a GET for requestURI (path?query) to owner, propagating
+// the caller's context (deadline and cancellation ride the transport)
+// and the conditional-request ETag. A non-nil error means the owner was
+// unreachable at the transport level — the caller's cue to fall back to
+// local compute; HTTP-level failures (503 sheds, 504 deadlines, 5xx)
+// come back as a ForwardResult for verbatim relay, Retry-After and all.
+func (c *Client) Forward(ctx context.Context, owner, requestURI, ifNoneMatch string) (*ForwardResult, error) {
+	base, ok := c.bases[owner]
+	if !ok {
+		return nil, fmt.Errorf("peering: unknown peer %q", owner)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base.Scheme+"://"+base.Host+requestURI, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(PeerHeader, c.self)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := c.rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &ForwardResult{Status: resp.StatusCode, Header: resp.Header, Body: body}, nil
+}
+
+// MemTransport is an in-process http.RoundTripper that dispatches by
+// host name to registered handlers — an N-node cluster in one process,
+// with real http.Request/Response plumbing and no sockets. Hosts can be
+// killed (connection-refused errors, the owner-unreachable path) and
+// restored; both are instant and deterministic. Safe for concurrent use.
+type MemTransport struct {
+	mu       sync.RWMutex
+	handlers map[string]http.Handler
+	down     map[string]bool
+}
+
+// NewMemTransport returns an empty transport.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{
+		handlers: make(map[string]http.Handler),
+		down:     make(map[string]bool),
+	}
+}
+
+// Register binds a host name to a handler (replacing any previous
+// binding) and marks it up.
+func (t *MemTransport) Register(host string, h http.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[host] = h
+	delete(t.down, host)
+}
+
+// Kill makes the host unreachable: every RoundTrip to it fails like a
+// refused connection until Restore.
+func (t *MemTransport) Kill(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[host] = true
+}
+
+// Restore brings a killed host back.
+func (t *MemTransport) Restore(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, host)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *MemTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.mu.RLock()
+	h, ok := t.handlers[host]
+	down := t.down[host]
+	t.mu.RUnlock()
+	if !ok || down {
+		return nil, fmt.Errorf("peering: dial %s: connection refused", host)
+	}
+	// Rebuild as a server-side request so the handler sees the same
+	// shape a net/http server would deliver; the caller's context rides
+	// along, so deadlines and cancellation propagate into the handler.
+	uri := req.URL.RequestURI()
+	if !strings.HasPrefix(uri, "/") {
+		uri = "/" + uri
+	}
+	sreq := httptest.NewRequest(req.Method, uri, nil).WithContext(req.Context())
+	sreq.Host = host
+	for k, vs := range req.Header {
+		sreq.Header[k] = vs
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, sreq)
+	return rec.Result(), nil
+}

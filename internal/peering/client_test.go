@@ -1,0 +1,101 @@
+package peering
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+func TestClientForwardAndMemTransport(t *testing.T) {
+	tr := NewMemTransport()
+	var seenPeer, seenINM, seenPath string
+	tr.Register("n1", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenPeer = r.Header.Get(PeerHeader)
+		seenINM = r.Header.Get("If-None-Match")
+		seenPath = r.URL.RequestURI()
+		w.Header().Set("ETag", `"abc"`)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"shed"}`))
+	}))
+	c, err := NewClient("n0", map[string]string{"n1": "http://n1"}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Forward(context.Background(), "n1", "/v1/mine?region=ITA&top=3", `"etag"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seenPeer != "n0" {
+		t.Fatalf("peer header = %q, want n0", seenPeer)
+	}
+	if seenINM != `"etag"` {
+		t.Fatalf("If-None-Match = %q", seenINM)
+	}
+	if seenPath != "/v1/mine?region=ITA&top=3" {
+		t.Fatalf("path = %q", seenPath)
+	}
+	// HTTP-level failures come back as results for verbatim relay, with
+	// headers intact — they are the owner's answer, not unreachability.
+	if res.Status != http.StatusServiceUnavailable || res.Header.Get("Retry-After") != "1" {
+		t.Fatalf("result = %d %v", res.Status, res.Header)
+	}
+	if string(res.Body) != `{"error":"shed"}` {
+		t.Fatalf("body = %q", res.Body)
+	}
+}
+
+func TestClientForwardUnreachable(t *testing.T) {
+	tr := NewMemTransport()
+	tr.Register("n1", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	c, err := NewClient("n0", map[string]string{"n1": "http://n1"}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Forward(context.Background(), "n1", "/x", ""); err != nil {
+		t.Fatalf("live host: %v", err)
+	}
+	tr.Kill("n1")
+	if _, err := c.Forward(context.Background(), "n1", "/x", ""); err == nil {
+		t.Fatal("killed host reachable")
+	}
+	tr.Restore("n1")
+	if _, err := c.Forward(context.Background(), "n1", "/x", ""); err != nil {
+		t.Fatalf("restored host: %v", err)
+	}
+	if _, err := c.Forward(context.Background(), "n9", "/x", ""); err == nil {
+		t.Fatal("unknown peer accepted")
+	}
+}
+
+func TestClientForwardPropagatesContext(t *testing.T) {
+	tr := NewMemTransport()
+	tr.Register("n1", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A well-behaved handler observes cancellation and bails.
+		<-r.Context().Done()
+		w.WriteHeader(499)
+	}))
+	c, err := NewClient("n0", map[string]string{"n1": "http://n1"}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := c.Forward(ctx, "n1", "/x", "")
+	// Either shape is fine — what matters is the forward resolved
+	// because the context died, instead of hanging.
+	if err == nil && res.Status != 499 {
+		t.Fatalf("cancelled forward: res=%+v err=%v", res, err)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient("n0", map[string]string{"n1": "://bad"}, NewMemTransport()); err == nil {
+		t.Fatal("bad base URL accepted")
+	}
+	if _, err := NewClient("n0", map[string]string{"n1": "no-scheme"}, NewMemTransport()); err == nil {
+		t.Fatal("scheme-less base URL accepted")
+	}
+}

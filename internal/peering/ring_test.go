@@ -1,0 +1,131 @@
+package peering
+
+import (
+	"fmt"
+	"testing"
+)
+
+func probeKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real result-cache keys: long hex-ish strings.
+		keys[i] = fmt.Sprintf("%064x", uint64(i)*0x9E3779B97F4A7C15)
+	}
+	return keys
+}
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"n0", "n1", "n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n2", "n0", "n1", "n0"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range probeKeys(2000) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("ownership depends on member order for %q: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+	if got, want := fmt.Sprint(a.Members()), fmt.Sprint([]string{"n0", "n1", "n2"}); got != want {
+		t.Fatalf("members = %s, want %s", got, want)
+	}
+	if !a.Contains("n1") || a.Contains("n9") {
+		t.Fatal("Contains misreports membership")
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member id accepted")
+	}
+	r, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner("anything") != "solo" {
+		t.Fatal("single-member ring must own everything")
+	}
+}
+
+// TestRingBalance checks virtual nodes do their job: over many keys no
+// member's share strays past 2x fair (a structural property of the
+// fixed hash, so this is a deterministic assertion, not a flake).
+func TestRingBalance(t *testing.T) {
+	members := []string{"n0", "n1", "n2", "n3", "n4"}
+	r, err := NewRing(members, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := probeKeys(20000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	fair := len(keys) / len(members)
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns nothing", m)
+		}
+		if counts[m] > 2*fair {
+			t.Fatalf("member %s owns %d keys, more than 2x fair share %d", m, counts[m], fair)
+		}
+	}
+}
+
+// TestRingStabilityUnderMembershipChange is the consistent-hashing
+// contract: removing one member may move only keys that member owned;
+// every other key keeps its owner.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full, err := NewRing([]string{"n0", "n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"n0", "n1", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, stayed := 0, 0
+	for _, key := range probeKeys(5000) {
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == after {
+			stayed++
+			continue
+		}
+		if before != "n2" {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+		moved++
+	}
+	if moved == 0 || stayed == 0 {
+		t.Fatalf("degenerate split: moved=%d stayed=%d", moved, stayed)
+	}
+}
+
+func TestRingMoved(t *testing.T) {
+	full, err := NewRing([]string{"n0", "n1", "n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Moved(full); got != 0 {
+		t.Fatalf("identical rings report %d moved arcs", got)
+	}
+	if got := full.Moved(nil); got != 0 {
+		t.Fatalf("nil previous ring reports %d moved arcs", got)
+	}
+	reduced, err := NewRing([]string{"n0", "n1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reduced.Moved(full); got == 0 {
+		t.Fatal("removing a member moved no arcs")
+	}
+	// Symmetric: adding the member back moves the same arcs.
+	if a, b := reduced.Moved(full), full.Moved(reduced); a != b {
+		t.Fatalf("Moved not symmetric: %d vs %d", a, b)
+	}
+}

@@ -108,6 +108,21 @@ func (c *resultCache) Put(key string, val []byte) {
 	c.used += size
 }
 
+// Entries returns a copy of the cached entries ordered least-recently
+// used first — the order the peering snapshot stores them in, so a
+// restore that replays Puts front to back reconstructs the recency
+// order. Values are the cache's immutable bodies (never mutated by the
+// cache or its callers), so sharing the slices is safe.
+func (c *resultCache) Entries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, len(c.entries))
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
+}
+
 // Stats returns cumulative hit/miss/eviction counters and current usage.
 func (c *resultCache) Stats() (hits, misses, evictions uint64, used int64, entries int) {
 	c.mu.Lock()

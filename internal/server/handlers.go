@@ -44,12 +44,18 @@ func (s *Server) routes() {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body, _ := marshalDeterministic(map[string]any{
+	doc := map[string]any{
 		"status":  "ok",
 		"corpus":  s.fingerprint,
 		"recipes": s.corpus.Len(),
 		"corpora": s.registry.Stats().StoreEntries,
-	})
+	}
+	if s.peers != nil {
+		state := s.peers.state.Load()
+		doc["node"] = s.peers.self
+		doc["peers"] = state.ring.Members()
+	}
+	body, _ := marshalDeterministic(doc)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Write(body)
 }

@@ -1,0 +1,180 @@
+package loadtest
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"cuisinevol/internal/peering"
+	"cuisinevol/internal/server"
+)
+
+// Cluster is an in-process multi-node serving tier: n server.Server
+// instances joined into one consistent-hash ring over a shared
+// peering.MemTransport, plus a front door that spreads requests across
+// the live nodes. It exists so the cluster-wide invariant tests can
+// replay a deterministic workload against a real ring — proxying,
+// peer fills, fallback, snapshots — without sockets or clocks.
+//
+// Nodes are named "n0".."n<n-1>". Kill makes a node abruptly
+// unreachable (nothing is flushed — the crash case); Restart rebuilds
+// it from its options, which restores its cache snapshot when the
+// cluster was built with a snapshot directory. Computations counts
+// cluster-wide computations across the whole history, including server
+// objects replaced by Restart.
+type Cluster struct {
+	tr      *peering.MemTransport
+	base    server.Options
+	peers   map[string]string
+	snapdir string
+
+	mu      sync.Mutex
+	nodes   []*server.Server
+	down    []bool
+	retired uint64 // computations of server objects replaced by Restart
+
+	next atomic.Uint64 // front-door round-robin cursor
+}
+
+// NewCluster builds an n-node cluster from the option template. The
+// template's peer fields (NodeID, Peers, PeerTransport,
+// CacheSnapshotPath) are overwritten per node; everything else — seed,
+// corpus, chaos, compute budget — is shared, which is what makes chaos
+// decisions node-independent. snapshotDir, when non-empty, gives every
+// node a snapshot file <dir>/<id>.snapshot restored on Restart.
+func NewCluster(n int, base server.Options, snapshotDir string) (*Cluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("loadtest: cluster needs >= 2 nodes, got %d", n)
+	}
+	c := &Cluster{
+		tr:      peering.NewMemTransport(),
+		base:    base,
+		peers:   make(map[string]string, n),
+		snapdir: snapshotDir,
+		nodes:   make([]*server.Server, n),
+		down:    make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%d", i)
+		c.peers[id] = "http://" + id
+	}
+	for i := 0; i < n; i++ {
+		if err := c.boot(i); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// boot builds node i's server from the template and registers it on the
+// transport. Callers hold no locks during NewCluster; Restart holds mu.
+func (c *Cluster) boot(i int) error {
+	id := fmt.Sprintf("n%d", i)
+	opts := c.base
+	opts.NodeID = id
+	opts.Peers = c.peers
+	opts.PeerTransport = c.tr
+	if c.snapdir != "" {
+		opts.CacheSnapshotPath = filepath.Join(c.snapdir, id+".snapshot")
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		return fmt.Errorf("loadtest: boot %s: %w", id, err)
+	}
+	c.nodes[i] = srv
+	c.tr.Register(id, srv.Handler())
+	return nil
+}
+
+// Size returns the number of nodes (live or killed).
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i's current server object. After Restart this is a
+// fresh object; per-node counters start over (Computations still
+// accounts for the replaced object).
+func (c *Cluster) Node(i int) *server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
+
+// NodeHandler returns node i's handler — requests sent here land on
+// that node exactly as a peer forward or a direct client would.
+func (c *Cluster) NodeHandler(i int) http.Handler { return c.Node(i).Handler() }
+
+// Handler returns the front door: each request is dispatched to the
+// next live node round-robin, the way an L4 balancer with health checks
+// spreads clients. Killed nodes are skipped; with every node down the
+// front door answers 503 rather than hanging.
+func (c *Cluster) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := int(c.next.Add(1))
+		c.mu.Lock()
+		var srv *server.Server
+		for off := 0; off < len(c.nodes); off++ {
+			i := (start + off) % len(c.nodes)
+			if !c.down[i] {
+				srv = c.nodes[i]
+				break
+			}
+		}
+		c.mu.Unlock()
+		if srv == nil {
+			http.Error(w, "loadtest: every cluster node is down", http.StatusServiceUnavailable)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+}
+
+// Kill crashes node i: the front door stops routing to it and every
+// peer forward to it fails like a refused connection. Nothing is
+// snapshotted or drained — this is the abrupt-failure case. The dead
+// server object keeps counting toward Computations.
+func (c *Cluster) Kill(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down[i] = true
+	c.tr.Kill(fmt.Sprintf("n%d", i))
+}
+
+// Restart replaces node i with a fresh server built from the same
+// options — restoring its cache snapshot when the cluster has a
+// snapshot directory — and rejoins it to the transport and front door.
+// The replaced object's computations move into the retired accumulator
+// so Computations stays monotonic across the swap.
+func (c *Cluster) Restart(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retired += c.nodes[i].Computations()
+	if err := c.boot(i); err != nil {
+		return err
+	}
+	c.down[i] = false
+	return nil
+}
+
+// Computations returns the cluster-wide computation count over the
+// cluster's whole history: every live and killed server object, plus
+// objects replaced by Restart. The exactly-once invariant is stated
+// against this number.
+func (c *Cluster) Computations() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.retired
+	for _, srv := range c.nodes {
+		total += srv.Computations()
+	}
+	return total
+}
+
+// SnapshotPath returns node i's snapshot file path, or "" when the
+// cluster was built without a snapshot directory.
+func (c *Cluster) SnapshotPath(i int) string {
+	if c.snapdir == "" {
+		return ""
+	}
+	return filepath.Join(c.snapdir, fmt.Sprintf("n%d.snapshot", i))
+}

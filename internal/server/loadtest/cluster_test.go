@@ -1,0 +1,337 @@
+package loadtest
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"cuisinevol/internal/server"
+)
+
+// clusterOptions is the shared node template the cluster tests build
+// on: small compute pool, tiny ensembles, shared corpus.
+func clusterOptions(t *testing.T) server.Options {
+	return server.Options{
+		Seed:       42,
+		Replicates: 2,
+		Compute:    4,
+		Corpus:     testCorpus(t),
+	}
+}
+
+// singleNode builds the single-node reference server the cluster's
+// responses are compared against: same corpus, same options, no peers.
+func singleNode(t *testing.T, opts server.Options) *server.Server {
+	t.Helper()
+	opts.NodeID = ""
+	opts.Peers = nil
+	opts.PeerTransport = nil
+	opts.CacheSnapshotPath = ""
+	srv, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestClusterExactlyOnceAndByteIdentical is the headline invariant:
+// a duplicate-heavy workload sprayed across three nodes computes each
+// distinct key exactly once cluster-wide — duplicates coalesce on the
+// key's owner no matter which node they enter through — and every
+// response is byte-identical to the single-node baseline. A full
+// replay computes nothing at all.
+func TestClusterExactlyOnceAndByteIdentical(t *testing.T) {
+	opts := clusterOptions(t)
+	cluster, err := NewCluster(3, opts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := Baseline(singleNode(t, opts).Handler(), Distinct(opts.Corpus, 7, 24))
+
+	mix := Distinct(opts.Corpus, 7, 24).Repeat(3)
+	rep := Start(cluster.Handler(), mix).Wait()
+	for _, res := range rep.Results {
+		if res.Status != http.StatusOK {
+			t.Fatalf("%s: %d %s", res.Path, res.Status, res.Body)
+		}
+		if res.Body != baseline[res.Path] {
+			t.Fatalf("%s: cluster body differs from single-node baseline", res.Path)
+		}
+	}
+	if got := cluster.Computations(); got != 24 {
+		t.Fatalf("cluster computed %d keys, want exactly 24 (one per distinct key)", got)
+	}
+
+	// The ring actually forwarded: with 72 entries spread round-robin
+	// over 3 nodes, some must have entered through a non-owner.
+	var proxied float64
+	for i := 0; i < cluster.Size(); i++ {
+		proxied += metric(t, cluster.NodeHandler(i), "cuisinevol_peer_proxied_total")
+	}
+	if proxied == 0 {
+		t.Fatal("no request was proxied — the ring never forwarded")
+	}
+	// Healthy cluster: the fallback path never fires.
+	for i := 0; i < cluster.Size(); i++ {
+		if v := metric(t, cluster.NodeHandler(i), "cuisinevol_peer_fallback_total"); v != 0 {
+			t.Fatalf("node %d used fallback with every peer healthy: %v", i, v)
+		}
+	}
+
+	// Replaying the whole workload is pure cache traffic.
+	rep2 := Start(cluster.Handler(), mix).Wait()
+	if got := rep2.CountStatus(http.StatusOK); got != len(mix.Paths) {
+		t.Fatalf("replay: %d/%d OK, statuses %v", got, len(mix.Paths), rep2.Statuses())
+	}
+	if got := cluster.Computations(); got != 24 {
+		t.Fatalf("replay recomputed: %d computations, want 24", got)
+	}
+}
+
+// TestClusterChaosMatchesSingleNode pins chaos determinism across the
+// tier: fault decisions are pure functions of (seed, request identity),
+// never of placement, so a chaotic cluster replay produces exactly the
+// per-path statuses of a chaotic single-node sequential replay — and
+// its successes stay byte-identical to a chaos-free baseline.
+func TestClusterChaosMatchesSingleNode(t *testing.T) {
+	opts := clusterOptions(t)
+	opts.Chaos = &server.ChaosConfig{Seed: 99, ErrorRate: 0.25, CancelRate: 0.25}
+	cluster, err := NewCluster(3, opts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := Distinct(opts.Corpus, 11, 30)
+
+	rep := Start(cluster.Handler(), mix).Wait()
+	clusterStatus := make(map[string]int, len(rep.Results))
+	for _, res := range rep.Results {
+		clusterStatus[res.Path] = res.Status
+	}
+
+	chaotic := singleNode(t, opts)
+	clean := clusterOptions(t)
+	cleanBodies := Baseline(singleNode(t, clean).Handler(), mix)
+	cancels := 0
+	for _, res := range rep.Results {
+		single := do(chaotic.Handler(), res.Path)
+		if clusterStatus[res.Path] != single.Status {
+			t.Fatalf("%s: cluster %d, single-node %d — chaos decision depended on placement",
+				res.Path, clusterStatus[res.Path], single.Status)
+		}
+		switch res.Status {
+		case http.StatusOK:
+			if res.Body != cleanBodies[res.Path] {
+				t.Fatalf("%s: chaotic cluster success differs from clean baseline", res.Path)
+			}
+		case 499:
+			cancels++
+		}
+	}
+	statuses := rep.Statuses()
+	if statuses[http.StatusOK] == 0 || statuses[http.StatusInternalServerError] == 0 || statuses[499] == 0 {
+		t.Fatalf("chaos mix did not exercise all outcomes: %v", statuses)
+	}
+	// Cancel faults fire before any compute or forward; error faults
+	// compute once on the owner. So cluster-wide computations are
+	// exactly the non-cancelled distinct paths.
+	if got, want := cluster.Computations(), uint64(len(mix.Paths)-cancels); got != want {
+		t.Fatalf("chaotic cluster computed %d, want %d (paths minus cancels)", got, want)
+	}
+}
+
+// TestClusterKillRestartFromSnapshot drives the full failure story
+// under deterministic chaos: warm a node with the whole workload
+// (cancel faults firing on their fixed subset), snapshot it, crash it
+// abruptly, show the survivors absorb its keyspace through the bounded
+// fallback with statuses and answers unchanged, then restart it from
+// the snapshot and show it comes back fully warm — zero recomputation
+// anywhere. Cancel faults fire before any cache, proxy or compute, so
+// the exactly-once accounting stays exact: computations are always the
+// non-cancelled paths (plus the orphaned keys recomputed as fallback).
+func TestClusterKillRestartFromSnapshot(t *testing.T) {
+	opts := clusterOptions(t)
+	opts.Chaos = &server.ChaosConfig{Seed: 21, CancelRate: 0.2}
+	// The whole orphaned keyspace may arrive at once after the kill;
+	// give the survivors a fallback budget sized for the workload so
+	// phase 2 asserts absorption, not shedding (budget exhaustion has
+	// its own test in internal/server).
+	opts.PeerFallback = 18
+	snapdir := t.TempDir()
+	cluster, err := NewCluster(3, opts, snapdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := Distinct(opts.Corpus, 5, 18)
+
+	// Phase 1: the whole mix enters through n0, concurrently. n0 ends
+	// up holding every non-cancelled key — its own by computing, the
+	// rest by peer fill — and the cluster computes each exactly once.
+	rep := Start(cluster.NodeHandler(0), mix).Wait()
+	bodies := make(map[string]string, len(rep.Results))
+	status := make(map[string]int, len(rep.Results))
+	cancels := 0
+	for _, res := range rep.Results {
+		status[res.Path] = res.Status
+		switch res.Status {
+		case http.StatusOK:
+			bodies[res.Path] = res.Body
+		case 499:
+			cancels++
+		default:
+			t.Fatalf("phase 1 %s: %d %s", res.Path, res.Status, res.Body)
+		}
+	}
+	if cancels == 0 || cancels == len(mix.Paths) {
+		t.Fatalf("chaos degenerate: %d/%d cancelled", cancels, len(mix.Paths))
+	}
+	computed := len(mix.Paths) - cancels
+	if got := cluster.Computations(); got != uint64(computed) {
+		t.Fatalf("phase 1 computed %d, want %d (paths minus cancels)", got, computed)
+	}
+	if n, err := cluster.Node(0).SaveCacheSnapshot(); err != nil || n != computed {
+		t.Fatalf("snapshot: %d entries, err %v (want %d, nil)", n, err, computed)
+	}
+
+	// Phase 2: crash n0 — no drain, no flush — and replay through n1.
+	// Chaos decisions are placement-independent, so the cancelled
+	// subset is identical; n1 serves its own keys from cache, proxies
+	// n2's to n2, and computes n0's orphaned keys itself under the
+	// fallback budget.
+	cluster.Kill(0)
+	rep2 := Start(cluster.NodeHandler(1), mix).Wait()
+	for _, res := range rep2.Results {
+		if res.Status != status[res.Path] {
+			t.Fatalf("phase 2 %s: status %d, phase 1 saw %d", res.Path, res.Status, status[res.Path])
+		}
+		if res.Status == http.StatusOK && res.Body != bodies[res.Path] {
+			t.Fatalf("phase 2 %s: body changed after node loss", res.Path)
+		}
+	}
+	fallbacks := metric(t, cluster.NodeHandler(1), "cuisinevol_peer_fallback_total")
+	if fallbacks == 0 {
+		t.Fatal("n0 owned no keys in the mix — fallback path never exercised")
+	}
+	afterKill := cluster.Computations()
+	if want := uint64(computed) + uint64(fallbacks); afterKill != want {
+		t.Fatalf("phase 2 computations %d, want %d (phase 1 + fallbacks)", afterKill, want)
+	}
+
+	// Phase 3: restart n0 from its snapshot. It rejoins warm — every
+	// non-cancelled key served from the restored cache, byte-identical,
+	// with zero new computations cluster-wide (and the cancelled subset
+	// still cancels, exactly as before the crash).
+	if err := cluster.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := metric(t, cluster.NodeHandler(0), "cuisinevol_peer_snapshot_loads_total"); got != 1 {
+		t.Fatalf("snapshot loads on restarted node = %v, want 1", got)
+	}
+	if got := metric(t, cluster.NodeHandler(0), "cuisinevol_peer_snapshot_entries_total"); got != float64(computed) {
+		t.Fatalf("snapshot entries restored = %v, want %d", got, computed)
+	}
+	rep3 := Start(cluster.NodeHandler(0), mix).Wait()
+	for _, res := range rep3.Results {
+		if res.Status != status[res.Path] {
+			t.Fatalf("phase 3 %s: status %d, phase 1 saw %d", res.Path, res.Status, status[res.Path])
+		}
+		if res.Status != http.StatusOK {
+			continue
+		}
+		if res.XCache != "HIT" {
+			t.Fatalf("phase 3 %s: X-Cache=%q — restart was not warm", res.Path, res.XCache)
+		}
+		if res.Body != bodies[res.Path] {
+			t.Fatalf("phase 3 %s: restored body drifted", res.Path)
+		}
+	}
+	if got := cluster.Computations(); got != afterKill {
+		t.Fatalf("warm restart recomputed: %d computations, want %d", got, afterKill)
+	}
+	if cluster.Node(0).Computations() != 0 {
+		t.Fatalf("restarted node computed %d keys itself", cluster.Node(0).Computations())
+	}
+}
+
+// TestClusterShedBoundedPerNode proves overload stays node-local and
+// bounded in the tier: with every computation parked on a chaos gate,
+// each owner admits at most Compute+MaxQueue of its keys and sheds the
+// rest with 503 + Retry-After — relayed verbatim through whichever node
+// the request entered, never amplified into fallback computes.
+func TestClusterShedBoundedPerNode(t *testing.T) {
+	const C, Q, N = 1, 1, 30
+	gate := make(chan struct{})
+	var parked atomic.Int64
+	opts := clusterOptions(t)
+	opts.Compute = C
+	opts.MaxQueue = Q
+	opts.Timeout = -1
+	opts.Chaos = &server.ChaosConfig{
+		Seed:        3,
+		LatencyRate: 1,
+		Block: func(ctx context.Context, key string) error {
+			parked.Add(1)
+			select {
+			case <-gate:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}
+	cluster, err := NewCluster(3, opts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := Distinct(opts.Corpus, 13, N)
+	run := Start(cluster.Handler(), mix)
+
+	// Every node's compute slots fill with its own keys and park on the
+	// gate; everything beyond each node's C+Q admission capacity sheds.
+	eventually(t, "all compute slots parked", func() bool {
+		return parked.Load() == int64(3*C)
+	})
+	shedTotal := func() float64 {
+		var total float64
+		for i := 0; i < cluster.Size(); i++ {
+			total += metric(t, cluster.NodeHandler(i), "cuisinevol_shed_total")
+		}
+		return total
+	}
+	wantShed := float64(N - 3*(C+Q))
+	eventually(t, "excess requests shed", func() bool { return shedTotal() == wantShed })
+
+	sheds := run.Await(N - 3*(C+Q))
+	for _, res := range sheds {
+		if res.Status != http.StatusServiceUnavailable {
+			t.Fatalf("%s completed %d while all slots were parked", res.Path, res.Status)
+		}
+		if res.RetryAfter == "" {
+			t.Fatalf("%s: shed without Retry-After", res.Path)
+		}
+	}
+	// Shedding is per-owner: every node was overloaded and refused work
+	// rather than leaking it to peers as fallback computations.
+	for i := 0; i < cluster.Size(); i++ {
+		if v := metric(t, cluster.NodeHandler(i), "cuisinevol_shed_total"); v == 0 {
+			t.Fatalf("node %d shed nothing — ownership never saturated it", i)
+		}
+		if v := metric(t, cluster.NodeHandler(i), "cuisinevol_peer_fallback_total"); v != 0 {
+			t.Fatalf("node %d computed fallback work during overload: %v", i, v)
+		}
+	}
+
+	close(gate)
+	rest := Report{Results: run.Await(3 * (C + Q))}
+	if got := rest.CountStatus(http.StatusOK); got != 3*(C+Q) {
+		t.Fatalf("admitted requests: %d/%d OK, statuses %v", got, 3*(C+Q), rest.Statuses())
+	}
+	if got, want := cluster.Computations(), uint64(3*(C+Q)); got != want {
+		t.Fatalf("cluster computed %d, want exactly %d (admission capacity)", got, want)
+	}
+	for i := 0; i < cluster.Size(); i++ {
+		if got := cluster.Node(i).Computations(); got != C+Q {
+			t.Fatalf("node %d computed %d, want exactly %d (its admission capacity)", i, got, C+Q)
+		}
+	}
+}

@@ -41,6 +41,16 @@ type metrics struct {
 	liveSeeds      atomic.Uint64 // live heads seeded by a full O(n) build
 	liveSnapshots  atomic.Uint64 // epoch snapshots materialized into the index cache
 
+	// Peering (multi-node serving tier) counters.
+	peerProxied            atomic.Uint64 // requests relayed to their key's owning node
+	peerFallback           atomic.Uint64 // owner-unreachable requests served by bounded local compute
+	peerFallbackShed       atomic.Uint64 // owner-unreachable requests shed (fallback budget exhausted)
+	peerRingMoves          atomic.Uint64 // keyspace arcs reassigned by membership updates
+	peerSnapshotSaves      atomic.Uint64 // cache snapshots written to disk
+	peerSnapshotLoads      atomic.Uint64 // cache snapshots restored at startup
+	peerSnapshotLoadErrors atomic.Uint64 // snapshot loads rejected by verification (quarantined)
+	peerSnapshotEntries    atomic.Uint64 // cache entries restored from snapshots
+
 	shedComputations atomic.Uint64 // computations rejected at admission (queue full)
 	deadlineTimeouts atomic.Uint64 // requests that exceeded their deadline budget
 	// chaosInjected counts injected faults by Fault kind (all zero when
@@ -239,6 +249,31 @@ func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.Inde
 	appendf("# HELP cuisinevol_compute_waiting Computations queued for a compute slot.\n")
 	appendf("# TYPE cuisinevol_compute_waiting gauge\n")
 	appendf("cuisinevol_compute_waiting %d\n", m.waiting.Load())
+
+	appendf("# HELP cuisinevol_peer_proxied_total Requests relayed to the node owning their cache key.\n")
+	appendf("# TYPE cuisinevol_peer_proxied_total counter\n")
+	appendf("cuisinevol_peer_proxied_total %d\n", m.peerProxied.Load())
+	appendf("# HELP cuisinevol_peer_fallback_total Owner-unreachable requests served by bounded local compute.\n")
+	appendf("# TYPE cuisinevol_peer_fallback_total counter\n")
+	appendf("cuisinevol_peer_fallback_total %d\n", m.peerFallback.Load())
+	appendf("# HELP cuisinevol_peer_fallback_shed_total Owner-unreachable requests shed because the fallback budget was exhausted.\n")
+	appendf("# TYPE cuisinevol_peer_fallback_shed_total counter\n")
+	appendf("cuisinevol_peer_fallback_shed_total %d\n", m.peerFallbackShed.Load())
+	appendf("# HELP cuisinevol_peer_ring_moves_total Keyspace arcs reassigned by peer membership updates.\n")
+	appendf("# TYPE cuisinevol_peer_ring_moves_total counter\n")
+	appendf("cuisinevol_peer_ring_moves_total %d\n", m.peerRingMoves.Load())
+	appendf("# HELP cuisinevol_peer_snapshot_saves_total Result-cache snapshots written to disk.\n")
+	appendf("# TYPE cuisinevol_peer_snapshot_saves_total counter\n")
+	appendf("cuisinevol_peer_snapshot_saves_total %d\n", m.peerSnapshotSaves.Load())
+	appendf("# HELP cuisinevol_peer_snapshot_loads_total Result-cache snapshots restored at startup.\n")
+	appendf("# TYPE cuisinevol_peer_snapshot_loads_total counter\n")
+	appendf("cuisinevol_peer_snapshot_loads_total %d\n", m.peerSnapshotLoads.Load())
+	appendf("# HELP cuisinevol_peer_snapshot_load_errors_total Snapshot loads rejected by verification (file quarantined, node started cold).\n")
+	appendf("# TYPE cuisinevol_peer_snapshot_load_errors_total counter\n")
+	appendf("cuisinevol_peer_snapshot_load_errors_total %d\n", m.peerSnapshotLoadErrors.Load())
+	appendf("# HELP cuisinevol_peer_snapshot_entries_total Cache entries restored from snapshots.\n")
+	appendf("# TYPE cuisinevol_peer_snapshot_entries_total counter\n")
+	appendf("cuisinevol_peer_snapshot_entries_total %d\n", m.peerSnapshotEntries.Load())
 
 	appendf("# HELP cuisinevol_shed_total Computations rejected at admission because the wait queue was full.\n")
 	appendf("# TYPE cuisinevol_shed_total counter\n")

@@ -62,27 +62,35 @@ func TestMetricsExpositionParses(t *testing.T) {
 	}
 
 	for family, kind := range map[string]string{
-		"cuisinevol_http_requests_total":           "counter",
-		"cuisinevol_http_request_duration_seconds": "histogram",
-		"cuisinevol_cache_hits_total":              "counter",
-		"cuisinevol_cache_misses_total":            "counter",
-		"cuisinevol_cache_bytes":                   "gauge",
-		"cuisinevol_coalesced_requests_total":      "counter",
-		"cuisinevol_computations_total":            "counter",
-		"cuisinevol_compute_inflight":              "gauge",
-		"cuisinevol_index_builds_total":            "counter",
-		"cuisinevol_index_hits_total":              "counter",
-		"cuisinevol_index_misses_total":            "counter",
-		"cuisinevol_index_evictions_total":         "counter",
-		"cuisinevol_index_bytes":                   "gauge",
-		"cuisinevol_index_entries":                 "gauge",
-		"cuisinevol_index_invalidations_total":     "counter",
-		"cuisinevol_live_appends_total":            "counter",
-		"cuisinevol_live_appended_tx_total":        "counter",
-		"cuisinevol_live_seeds_total":              "counter",
-		"cuisinevol_live_snapshots_total":          "counter",
-		"cuisinevol_live_heads":                    "gauge",
-		"cuisinevol_live_epochs":                   "gauge",
+		"cuisinevol_http_requests_total":             "counter",
+		"cuisinevol_http_request_duration_seconds":   "histogram",
+		"cuisinevol_cache_hits_total":                "counter",
+		"cuisinevol_cache_misses_total":              "counter",
+		"cuisinevol_cache_bytes":                     "gauge",
+		"cuisinevol_coalesced_requests_total":        "counter",
+		"cuisinevol_computations_total":              "counter",
+		"cuisinevol_compute_inflight":                "gauge",
+		"cuisinevol_index_builds_total":              "counter",
+		"cuisinevol_index_hits_total":                "counter",
+		"cuisinevol_index_misses_total":              "counter",
+		"cuisinevol_index_evictions_total":           "counter",
+		"cuisinevol_index_bytes":                     "gauge",
+		"cuisinevol_index_entries":                   "gauge",
+		"cuisinevol_index_invalidations_total":       "counter",
+		"cuisinevol_live_appends_total":              "counter",
+		"cuisinevol_live_appended_tx_total":          "counter",
+		"cuisinevol_live_seeds_total":                "counter",
+		"cuisinevol_live_snapshots_total":            "counter",
+		"cuisinevol_live_heads":                      "gauge",
+		"cuisinevol_live_epochs":                     "gauge",
+		"cuisinevol_peer_proxied_total":              "counter",
+		"cuisinevol_peer_fallback_total":             "counter",
+		"cuisinevol_peer_fallback_shed_total":        "counter",
+		"cuisinevol_peer_ring_moves_total":           "counter",
+		"cuisinevol_peer_snapshot_saves_total":       "counter",
+		"cuisinevol_peer_snapshot_loads_total":       "counter",
+		"cuisinevol_peer_snapshot_load_errors_total": "counter",
+		"cuisinevol_peer_snapshot_entries_total":     "counter",
 	} {
 		if got := types[family]; got != kind {
 			t.Errorf("family %s: TYPE %q (want %q)", family, got, kind)

@@ -24,6 +24,13 @@
 // Prometheus text format with no external dependencies. A seeded,
 // fully deterministic fault-injection layer (chaos.go) lets the tests
 // drive all of these failure paths without wall-clock sleeps.
+//
+// With Options.Peers configured the server joins a multi-node tier
+// (peer.go, internal/peering, DESIGN.md §15): the result-cache keyspace
+// is consistent-hash partitioned across the peer set, misses for
+// remotely-owned keys are proxied to their owner (cross-node
+// singleflight) and fill the local cache on the way back, and the
+// result cache snapshots to disk so a restarted node comes up warm.
 package server
 
 import (
@@ -41,6 +48,7 @@ import (
 	"cuisinevol/internal/experiment"
 	"cuisinevol/internal/ingredient"
 	"cuisinevol/internal/itemset"
+	"cuisinevol/internal/peering"
 	"cuisinevol/internal/recipe"
 )
 
@@ -87,6 +95,30 @@ type Options struct {
 	// Chaos, when non-nil, enables deterministic fault injection — a
 	// test/staging facility, never set in production serving.
 	Chaos *ChaosConfig
+
+	// NodeID and Peers enable the multi-node serving tier (DESIGN.md
+	// §15): Peers maps node ids (NodeID included) to base URLs, and the
+	// result-cache keyspace is consistent-hash partitioned across them.
+	// A cache miss for a key owned elsewhere is proxied to its owner
+	// instead of recomputed; both empty (the default) serves single-node.
+	NodeID string
+	Peers  map[string]string
+	// PeerVnodes is the virtual-node count per ring member; <= 0 selects
+	// peering.DefaultVirtualNodes.
+	PeerVnodes int
+	// PeerFallback bounds concurrent local computations of
+	// remotely-owned keys while their owner is unreachable; beyond it
+	// such requests shed with 503 + Retry-After. <= 0 means Compute.
+	PeerFallback int
+	// PeerTransport carries forwarded requests; nil selects the real
+	// HTTP transport. The in-process cluster harness injects a
+	// peering.MemTransport here.
+	PeerTransport http.RoundTripper
+	// CacheSnapshotPath, when non-empty, names the result-cache snapshot
+	// file: restored (fingerprint-verified) at startup so the node comes
+	// up warm, written by SaveCacheSnapshot (the serve command calls it
+	// on graceful shutdown).
+	CacheSnapshotPath string
 }
 
 // Server is the HTTP analytics service. Create with New, expose with
@@ -102,6 +134,7 @@ type Server struct {
 	flight      *flightGroup
 	admit       *admission
 	chaos       *chaos
+	peers       *peerLayer // nil when serving single-node
 	metrics     *metrics
 	mux         *http.ServeMux
 	started     time.Time
@@ -172,6 +205,24 @@ func New(opts Options) (*Server, error) {
 		chaos:       newChaos(opts.Chaos, m),
 		metrics:     m,
 		started:     time.Now(),
+	}
+	if len(opts.Peers) > 0 {
+		fallbackSlots := opts.PeerFallback
+		if fallbackSlots <= 0 {
+			fallbackSlots = opts.Compute
+		}
+		peers, err := newPeerLayer(opts.NodeID, opts.Peers, opts.PeerVnodes, fallbackSlots, opts.PeerTransport)
+		if err != nil {
+			return nil, err
+		}
+		s.peers = peers
+	} else if opts.NodeID != "" {
+		return nil, fmt.Errorf("server: NodeID %q set without Peers", opts.NodeID)
+	}
+	if opts.CacheSnapshotPath != "" {
+		if err := s.loadCacheSnapshot(); err != nil {
+			return nil, err
+		}
 	}
 	s.routes()
 	return s, nil
@@ -361,6 +412,32 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, fingerpri
 	if body, ok := s.cache.Get(key); ok {
 		s.writeBody(w, body, etag, "HIT")
 		return
+	}
+	// Multi-node tier: a miss for a key owned by a peer is proxied to its
+	// owner (whose cache, singleflight and admission then apply — the
+	// cluster-wide exactly-once path) rather than recomputed here. A
+	// request already forwarded by a peer is always served locally, so
+	// forwarding is one hop even if two nodes transiently disagree about
+	// membership. When the owner is unreachable this node computes the
+	// key itself under the bounded fallback budget — availability over
+	// placement — or sheds once that budget is busy.
+	if s.peers != nil && r.Header.Get(peering.PeerHeader) == "" {
+		if owner := s.peers.owner(key); owner != s.peers.self {
+			if s.proxyServe(w, r, owner, endpoint, key) {
+				return
+			}
+			if !s.peers.acquireFallback() {
+				s.metrics.peerFallbackShed.Add(1)
+				s.writeError(w, &httpError{
+					status:     http.StatusServiceUnavailable,
+					msg:        fmt.Sprintf("peer %s unreachable and fallback budget exhausted", owner),
+					retryAfter: shedRetryAfter,
+				})
+				return
+			}
+			s.metrics.peerFallback.Add(1)
+			defer s.peers.releaseFallback()
+		}
 	}
 	ctx := r.Context()
 	if d := s.endpointTimeout(endpoint); d > 0 {
