@@ -64,6 +64,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNormalize -fuzztime $(FUZZTIME) ./internal/textnorm
 	$(GO) test -run '^$$' -fuzz FuzzParseRecipe -fuzztime $(FUZZTIME) ./internal/ingest
 	$(GO) test -run '^$$' -fuzz FuzzMineKernels -fuzztime $(FUZZTIME) ./internal/itemset
+	$(GO) test -run '^$$' -fuzz FuzzPostingContainers -fuzztime $(FUZZTIME) ./internal/itemset
 	$(GO) test -run '^$$' -fuzz FuzzImportJSONL -fuzztime $(FUZZTIME) ./internal/corpusstore
 	$(GO) test -run '^$$' -fuzz FuzzImportCSV -fuzztime $(FUZZTIME) ./internal/corpusstore
 	$(GO) test -run '^$$' -fuzz FuzzParseRef -fuzztime $(FUZZTIME) ./internal/corpusstore

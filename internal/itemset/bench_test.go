@@ -182,6 +182,75 @@ func BenchmarkMineWarmIndex(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexBuildSparse prices BuildIndex over the synthetic
+// long-tail corpus (the world-recipes shape: few staples, a mid tier,
+// a near-singleton tail) and reports the adaptive layout's retained
+// size next to what the uniform dense layout would have retained — the
+// tentpole's ≥4× reduction, recorded in BENCH_fig_pipeline.json.
+func BenchmarkIndexBuildSparse(b *testing.B) {
+	txs := longTailCorpus(11, 262144, 500, 3580)
+	ix, err := BuildIndex(txs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(txs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := ix.ContainerStats()
+	b.ReportMetric(float64(ix.Bytes()), "index-bytes")
+	b.ReportMetric(float64(ix.Bytes()+st.BytesSaved()), "dense-bytes")
+	b.ReportMetric(float64(ix.Bytes()+st.BytesSaved())/float64(ix.Bytes()), "compression-x")
+}
+
+// BenchmarkMineWarmIndexSparse is the warm serving path on the
+// long-tail corpus: adaptive containers, galloping intersections, auto
+// kernel selection (the compressed-share rule picks Eclat here even
+// though the dense-density statistics would not).
+func BenchmarkMineWarmIndexSparse(b *testing.B) {
+	txs := longTailCorpus(11, 262144, 500, 3580)
+	ix, err := BuildIndex(txs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := MineIndexed(ix, 0.00036, MineOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineIndexed(ix, 0.00036, MineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineWarmIndexSparseDense is the pre-container comparison
+// point: the same corpus and threshold over a dense-forced index with
+// the Eclat kernel pinned, so the delta to BenchmarkMineWarmIndexSparse
+// isolates the container dispatch against uniform word sweeps.
+func BenchmarkMineWarmIndexSparseDense(b *testing.B) {
+	txs := longTailCorpus(11, 262144, 500, 3580)
+	ix, err := buildIndexWith(txs, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := MineOptions{Kernel: KernelEclat}
+	if _, err := MineIndexed(ix, 0.00036, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineIndexed(ix, 0.00036, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMineColdSecondPoint is the pre-index behaviour at the same
 // second parameter point: every mine rebuilds dedup and bitmaps from
 // the raw transactions, which is exactly what the result cache could

@@ -1,7 +1,6 @@
 package itemset
 
 import (
-	"math/bits"
 	"sort"
 	"sync"
 
@@ -46,68 +45,38 @@ var eclatPool = sync.Pool{New: func() any { return newEclatMiner() }}
 // eclatShared is the read-only mining state the expansion workers
 // consume: built once per mine (or borrowed from a prebuilt Index),
 // then shared across the top-level prefix partitions (safely — nothing
-// here is written after construction). Bitmaps are reached through one
-// slice-header indirection per frequent item, so the raw path's
-// contiguous arena and the indexed path's zero-copy views into Index
-// memory run the same expansion code.
+// here is written after construction). Tidsets are reached through one
+// posting view per frequent item, so the raw path's contiguous dense
+// arena and the indexed path's zero-copy views into the Index's
+// adaptive containers run the same expansion code.
 type eclatShared struct {
 	freq     []itemCount // frequent items, ascending count then ID
-	words    int         // bitmap length in uint64 words
+	words    int         // dense bitmap length in uint64 words
 	weighted bool        // any unique transaction with weight > 1
 	weights  []int32     // per unique-transaction multiplicity
-	refs     [][]uint64  // per frequent item: its tidset bitmap
+	posts    []posting   // per frequent item: its tidset container
 	mc       int
 }
 
-// bitmap returns frequent item j's tidset bitmap.
-func (sh *eclatShared) bitmap(j int) []uint64 {
-	return sh.refs[j]
-}
-
-// intersectCount writes a AND b into dst and returns the supported
-// weight of the intersection: a plain popcount when every unique
-// transaction occurred once, a weight sum over set bits otherwise.
-func (sh *eclatShared) intersectCount(a, b, dst []uint64) int {
-	b = b[:len(a)]
-	dst = dst[:len(a)]
-	cnt := 0
-	if !sh.weighted {
-		for i, av := range a {
-			w := av & b[i]
-			dst[i] = w
-			cnt += bits.OnesCount64(w)
-		}
-		return cnt
-	}
-	for i, av := range a {
-		w := av & b[i]
-		dst[i] = w
-		base := i << 6
-		for w != 0 {
-			cnt += int(sh.weights[base+bits.TrailingZeros64(w)])
-			w &= w - 1
-		}
-	}
-	return cnt
-}
-
 // eclatExt is one member of a prefix equivalence class: an extension
-// item with the tidset bitmap and support of prefix∪{item}.
+// item with the tidset container and support of prefix∪{item}.
 type eclatExt struct {
 	item  int32
-	bm    []uint64
+	p     posting
 	count int
 }
 
 // eclatScratch is the per-worker expansion state: the suffix stack, one
-// bitmap buffer and one class slice per recursion depth, an emit arena,
-// and the output slice. Serial mining uses the miner's own scratch; the
-// parallel path draws one per top-level partition from a pool.
+// bitset buffer, one id buffer and one class slice per recursion depth,
+// an emit arena, and the output slice. Serial mining uses the miner's
+// own scratch; the parallel path draws one per top-level partition from
+// a pool.
 type eclatScratch struct {
-	sh     *eclatShared
-	suffix []int32
-	levels [][]uint64   // per-depth bitmap buffers for candidate classes
-	class  [][]eclatExt // per-depth class scratch
+	sh       *eclatShared
+	suffix   []int32
+	levels   [][]uint64   // per-depth word buffers for bitset candidates
+	levelIDs [][]uint32   // per-depth id buffers for array candidates
+	class    [][]eclatExt // per-depth class scratch
 
 	// arenaFree is the unused tail of the current emit-arena chunk (the
 	// same carve-and-never-touch-again scheme as Miner.emit).
@@ -115,7 +84,7 @@ type eclatScratch struct {
 	sets      []Itemset
 }
 
-// levelAt returns the depth's bitmap buffer with room for n words.
+// levelAt returns the depth's bitset buffer with room for n words.
 func (s *eclatScratch) levelAt(depth, n int) []uint64 {
 	for len(s.levels) <= depth {
 		s.levels = append(s.levels, nil)
@@ -124,6 +93,17 @@ func (s *eclatScratch) levelAt(depth, n int) []uint64 {
 		s.levels[depth] = make([]uint64, n)
 	}
 	return s.levels[depth][:cap(s.levels[depth])]
+}
+
+// levelIDsAt returns the depth's id buffer with room for n ids.
+func (s *eclatScratch) levelIDsAt(depth, n int) []uint32 {
+	for len(s.levelIDs) <= depth {
+		s.levelIDs = append(s.levelIDs, nil)
+	}
+	if cap(s.levelIDs[depth]) < n {
+		s.levelIDs[depth] = make([]uint32, n)
+	}
+	return s.levelIDs[depth][:cap(s.levelIDs[depth])]
 }
 
 // classAt returns the depth's class scratch, emptied.
@@ -165,20 +145,48 @@ func (s *eclatScratch) emitWith(item int32, count int) {
 // all itemsets whose first (in item order) member is a and that contain
 // at least one later item. Partitions are independent, which is what
 // the parallel path exploits.
+//
+// A sizing pass over the candidates reserves the depth's scratch
+// exactly — words for every bitset×bitset pair, the pair's cardinality
+// bound for every pair with a compressed side — so every candidate
+// container is carved from a stable buffer: a failed candidate's space
+// is simply reused for the next one, and a whole depth's buffers are
+// reused across siblings once their subtree is done.
 func (s *eclatScratch) top(a int) {
 	sh := s.sh
 	k := len(sh.freq)
 	s.suffix = append(s.suffix[:0], int32(a))
-	buf := s.levelAt(0, (k-a-1)*sh.words)
-	class := s.classAt(0)
-	off := 0
+	pa := sh.posts[a]
+	needW, needI := 0, 0
 	for b := a + 1; b < k; b++ {
-		dst := buf[off : off+sh.words]
-		cnt := sh.intersectCount(sh.bitmap(a), sh.bitmap(b), dst)
+		if resultIsBitset(pa, sh.posts[b]) {
+			needW += sh.words
+		} else {
+			needI += pairArrayBound(pa, sh.posts[b])
+		}
+	}
+	wbuf := s.levelAt(0, needW)
+	ibuf := s.levelIDsAt(0, needI)
+	class := s.classAt(0)
+	woff, ioff := 0, 0
+	for b := a + 1; b < k; b++ {
+		pb := sh.posts[b]
+		var res posting
+		var cnt int
+		if resultIsBitset(pa, pb) {
+			res, cnt = sh.intersectBits(pa, pb, wbuf[woff:woff+sh.words])
+		} else {
+			bound := pairArrayBound(pa, pb)
+			res, cnt = sh.intersectCompressed(pa, pb, ibuf[ioff:ioff+bound])
+		}
 		if cnt >= sh.mc {
 			s.emitWith(int32(b), cnt)
-			class = append(class, eclatExt{item: int32(b), bm: dst, count: cnt})
-			off += sh.words
+			class = append(class, eclatExt{item: int32(b), p: res, count: cnt})
+			if res.kind == containerBitset {
+				woff += sh.words
+			} else {
+				ioff += len(res.ids)
+			}
 		}
 	}
 	s.class[0] = class
@@ -190,24 +198,47 @@ func (s *eclatScratch) top(a int) {
 
 // expand walks one prefix equivalence class depth-first: for each
 // member a, the prefix grows by a's item and every later member b is
-// intersected against it; survivors form the next class. Candidate
-// bitmaps for a depth live in that depth's buffer — a failed candidate's
-// words are simply reused for the next one, and a whole class's buffer
-// is reused across siblings once their subtree is done.
+// intersected against it via the container-pair dispatch; survivors
+// form the next class. Candidate containers for a depth live in that
+// depth's buffers (see top for the sizing discipline). Sparse subtrees
+// stay sparse: once an intersection drops to an array it never
+// re-densifies, so the per-pair cost follows the shrinking
+// cardinalities instead of the fixed bitmap width.
 func (s *eclatScratch) expand(exts []eclatExt, depth int) {
 	sh := s.sh
 	for a := 0; a+1 < len(exts); a++ {
 		s.suffix = append(s.suffix, exts[a].item)
-		buf := s.levelAt(depth, (len(exts)-a-1)*sh.words)
-		class := s.classAt(depth)
-		off := 0
+		pa := exts[a].p
+		needW, needI := 0, 0
 		for b := a + 1; b < len(exts); b++ {
-			dst := buf[off : off+sh.words]
-			cnt := sh.intersectCount(exts[a].bm, exts[b].bm, dst)
+			if resultIsBitset(pa, exts[b].p) {
+				needW += sh.words
+			} else {
+				needI += pairArrayBound(pa, exts[b].p)
+			}
+		}
+		wbuf := s.levelAt(depth, needW)
+		ibuf := s.levelIDsAt(depth, needI)
+		class := s.classAt(depth)
+		woff, ioff := 0, 0
+		for b := a + 1; b < len(exts); b++ {
+			pb := exts[b].p
+			var res posting
+			var cnt int
+			if resultIsBitset(pa, pb) {
+				res, cnt = sh.intersectBits(pa, pb, wbuf[woff:woff+sh.words])
+			} else {
+				bound := pairArrayBound(pa, pb)
+				res, cnt = sh.intersectCompressed(pa, pb, ibuf[ioff:ioff+bound])
+			}
 			if cnt >= sh.mc {
 				s.emitWith(exts[b].item, cnt)
-				class = append(class, eclatExt{item: exts[b].item, bm: dst, count: cnt})
-				off += sh.words
+				class = append(class, eclatExt{item: exts[b].item, p: res, count: cnt})
+				if res.kind == containerBitset {
+					woff += sh.words
+				} else {
+					ioff += len(res.ids)
+				}
 			}
 		}
 		s.class[depth] = class
@@ -372,8 +403,8 @@ var eclatQueryPool = sync.Pool{New: func() any { return &eclatQuery{} }}
 // into the Index so a pooled query never pins evicted index memory.
 func (q *eclatQuery) release() {
 	sh := &q.shared
-	clear(sh.refs)
-	sh.refs = sh.refs[:0]
+	clear(sh.posts)
+	sh.posts = sh.posts[:0]
 	sh.weights = nil
 	eclatQueryPool.Put(q)
 }
@@ -416,10 +447,10 @@ func eclatMineIndexed(ix *Index, minSupport float64, workers int) (*Result, erro
 		return a < b
 	})
 	sh.freq = sh.freq[:0]
-	sh.refs = sh.refs[:0]
+	sh.posts = sh.posts[:0]
 	for _, p := range q.posBuf {
 		sh.freq = append(sh.freq, ix.items[p])
-		sh.refs = append(sh.refs, ix.bitmapAt(int(p)))
+		sh.posts = append(sh.posts, ix.postingAt(int(p)))
 	}
 
 	if err := eclatRun(sh, &q.scratch, res, workers); err != nil {
@@ -493,10 +524,15 @@ func (m *eclatMiner) dedupTransactions(txs [][]ingredient.ID) {
 	}
 }
 
-// buildBitmaps lays out one tidset bitmap per frequent item over the
-// unique transaction ids, all in one contiguous arena. The weights
-// slice is padded to a whole word so the weighted intersect loop can
-// index by bit position without bounds branches.
+// buildBitmaps lays out one dense tidset bitmap per frequent item over
+// the unique transaction ids, all in one contiguous arena, and exposes
+// them as bitset posting views. The raw path stays uniformly dense on
+// purpose: a per-mine build has no cardinality statistics worth a
+// second pass (the adaptive containers live in the build-once Index,
+// where the layout cost amortizes), and all-bitset postings make the
+// expansion byte-identical in work to the pre-container kernel. The
+// weights slice is padded to a whole word so the weighted intersect
+// loop can index by bit position without bounds branches.
 func (m *eclatMiner) buildBitmaps() {
 	sh := &m.shared
 	u := len(sh.weights)
@@ -515,9 +551,13 @@ func (m *eclatMiner) buildBitmaps() {
 			m.bitmapArena[int(j)*sh.words+int(word)] |= 1 << bit
 		}
 	}
-	sh.refs = sh.refs[:0]
+	sh.posts = sh.posts[:0]
 	for j := range sh.freq {
-		sh.refs = append(sh.refs, m.bitmapArena[j*sh.words:(j+1)*sh.words])
+		sh.posts = append(sh.posts, posting{
+			kind: containerBitset,
+			card: -1, // unknown; never consulted for bitset×bitset pairs
+			bits: m.bitmapArena[j*sh.words : (j+1)*sh.words],
+		})
 	}
 	if sh.weighted {
 		for len(sh.weights) < sh.words*64 {

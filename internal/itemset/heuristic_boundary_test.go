@@ -114,18 +114,103 @@ func TestChooseKernelDensityBoundary(t *testing.T) {
 	if got := ChooseKernel(under); got != KernelFPGrowth {
 		t.Fatalf("density = 1/65: %v, want fpgrowth", got)
 	}
+	ixAt, err := BuildIndex(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ixAt.ChooseKernel(); got != KernelEclat {
+		t.Fatalf("at: indexed %v, want eclat (matching raw)", got)
+	}
+	// Under the density bound the raw and indexed decisions diverge by
+	// design: every item here appears in exactly one transaction, so the
+	// whole posting mix is array containers and the index-side heuristic
+	// upgrades back to Eclat (minEclatCompressedShare) where the raw
+	// statistics still say FP-Growth.
+	ixUnder, err := BuildIndex(under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ixUnder.ContainerStats(); st.Arrays != 4096 || st.Bitsets != 0 || st.Runs != 0 {
+		t.Fatalf("under: container mix %+v, want all arrays", st)
+	}
+	if got := ixUnder.ChooseKernel(); got != KernelEclat {
+		t.Fatalf("under: indexed %v, want eclat (compressed-share upgrade)", got)
+	}
 	for name, db := range map[string][][]ingredient.ID{"at": at, "under": under} {
 		ix, err := BuildIndex(db)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if raw, indexed := ChooseKernel(db), ix.ChooseKernel(); raw != indexed {
-			t.Fatalf("%s: raw %v vs indexed %v", name, raw, indexed)
-		}
 		// Disjoint transactions: nothing reaches a 0.5 threshold, but
 		// the kernels must agree on that emptiness too.
 		forcedKernelsAgree(t, ix, db, 0.5, "density-"+name)
 	}
+}
+
+// compressedShareBoundaryCorpus engineers a posting mix sitting exactly
+// on the minEclatCompressedShare edge. 192 transactions over 256 items:
+// items 0–63 each hit 7 transactions spread ≡ 0 (mod 3) so their
+// tidsets have 7 runs over words = 3 — bitset wins (cost 6 uint32s vs 7
+// array, 14 run) — while item 64+t appears only in transaction t, a
+// cardinality-1 array container. Share = 192/256 = 0.75 exactly, and
+// density 640/(192·256) sits under minEclatDensity so the raw heuristic
+// says FP-Growth on both sides of the edge. Dropping the last
+// transaction (drop=true) removes one array item and no bitset members
+// (191 is not a multiple of 3): share slips to 191/255, one off under.
+func compressedShareBoundaryCorpus(drop bool) [][]ingredient.ID {
+	const n, dense = 192, 64
+	members := make([][]ingredient.ID, n)
+	for j := 0; j < dense; j++ {
+		for s := 0; s < 7; s++ {
+			members[(3*(j+9*s))%n] = append(members[(3*(j+9*s))%n], ingredient.ID(j))
+		}
+	}
+	last := n
+	if drop {
+		last = n - 1
+	}
+	txs := make([][]ingredient.ID, 0, last)
+	for t := 0; t < last; t++ {
+		tx := append([]ingredient.ID{}, members[t]...) // ascending: filled in j order
+		txs = append(txs, append(tx, ingredient.ID(dense+t)))
+	}
+	return txs
+}
+
+func TestChooseKernelCompressedShareBoundary(t *testing.T) {
+	at := compressedShareBoundaryCorpus(false)
+	under := compressedShareBoundaryCorpus(true)
+	// Raw statistics put both corpora below the density bound, so the
+	// container-aware branch is the only thing deciding here.
+	if got := ChooseKernel(at); got != KernelFPGrowth {
+		t.Fatalf("raw at: %v, want fpgrowth (below density bound)", got)
+	}
+	if got := ChooseKernel(under); got != KernelFPGrowth {
+		t.Fatalf("raw under: %v, want fpgrowth (below density bound)", got)
+	}
+	ixAt, err := BuildIndex(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ixAt.ContainerStats(); st.Bitsets != 64 || st.Arrays != 192 || st.Runs != 0 {
+		t.Fatalf("at: container mix %+v, want 64 bitsets + 192 arrays", st)
+	}
+	if got := ixAt.ChooseKernel(); got != KernelEclat {
+		t.Fatalf("share = 0.75 exactly: indexed %v, want eclat (edge is inclusive)", got)
+	}
+	ixUnder, err := BuildIndex(under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ixUnder.ContainerStats(); st.Bitsets != 64 || st.Arrays != 191 || st.Runs != 0 {
+		t.Fatalf("under: container mix %+v, want 64 bitsets + 191 arrays", st)
+	}
+	if got := ixUnder.ChooseKernel(); got != KernelFPGrowth {
+		t.Fatalf("share = 191/255: indexed %v, want fpgrowth (one off under)", got)
+	}
+	// The flip never affects results, only speed.
+	forcedKernelsAgree(t, ixAt, at, 0.03, "share-at")
+	forcedKernelsAgree(t, ixUnder, under, 0.03, "share-under")
 }
 
 // forcedKernelsAgree pins result equality across explicitly forced

@@ -302,8 +302,11 @@ func TestIndexImmutableAcrossQueries(t *testing.T) {
 
 // TestIndexChooseKernelMatchesRaw: the index's stats-based kernel
 // choice must reproduce ChooseKernel's decision on the raw
-// transactions for every corpus shape (satellite: the heuristic
-// consults the prebuilt index, not a re-estimation pass).
+// transactions for every corpus shape, except in the one documented
+// direction: on sparse corpora whose posting mix is overwhelmingly
+// compressed, the index knows more than the raw statistics and may
+// upgrade FP-Growth to Eclat (minEclatCompressedShare). Any other
+// divergence is a bug.
 func TestIndexChooseKernelMatchesRaw(t *testing.T) {
 	src := randx.New(99)
 	for trial := 0; trial < 30; trial++ {
@@ -321,8 +324,16 @@ func TestIndexChooseKernelMatchesRaw(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if raw, indexed := ChooseKernel(txs), ix.ChooseKernel(); raw != indexed {
-			t.Fatalf("trial %d: ChooseKernel(raw) = %v, Index.ChooseKernel() = %v", trial, raw, indexed)
+		raw, indexed := ChooseKernel(txs), ix.ChooseKernel()
+		if raw == indexed {
+			continue
+		}
+		st := ix.ContainerStats()
+		compressed := st.Arrays + st.Runs
+		if raw != KernelFPGrowth || indexed != KernelEclat ||
+			float64(compressed) < minEclatCompressedShare*float64(ix.DistinctItems()) {
+			t.Fatalf("trial %d: ChooseKernel(raw) = %v, Index.ChooseKernel() = %v (mix %+v)",
+				trial, raw, indexed, st)
 		}
 	}
 }

@@ -30,6 +30,17 @@ type IndexCacheStats struct {
 	Invalidations uint64 // entries removed by InvalidateFingerprint
 	Bytes         int64  // retained bytes of cached indexes
 	Entries       int    // cached indexes
+
+	// Posting-container telemetry, accumulated once per index that
+	// passes through the cache (each successful build, each inserted
+	// Put): how many items landed in each container format, and the
+	// posting bytes the adaptive layout saved over the uniform dense
+	// one. Exposed on /metrics as cuisinevol_index_container_*_total
+	// and cuisinevol_index_bytes_saved_total.
+	ContainerArrays  uint64
+	ContainerBitsets uint64
+	ContainerRuns    uint64
+	BytesSaved       uint64
 }
 
 // IndexCache is a byte-budget LRU of immutable corpus indexes with
@@ -45,6 +56,7 @@ type IndexCache struct {
 	flight  map[string]*indexCall
 
 	builds, hits, misses, evictions, invalidations uint64
+	arrays, bitsets, runs, bytesSaved              uint64
 }
 
 type indexEntry struct {
@@ -106,6 +118,9 @@ func (c *IndexCache) Get(key string, source func() ([][]ingredient.ID, error)) (
 
 	c.mu.Lock()
 	delete(c.flight, key)
+	if call.err == nil {
+		c.countContainers(call.ix)
+	}
 	switch {
 	case call.dropped:
 		// Invalidated while building: hand the result to waiters but
@@ -161,11 +176,30 @@ func (c *IndexCache) put(key string, ix *Index) {
 // The usual budget and LRU rules apply; an index wider than the whole
 // budget is simply not retained. A racing or pre-existing entry for the
 // same key is kept (same key means same content fingerprint, so the
-// incumbent is equivalent).
+// incumbent is equivalent). Container telemetry counts the index only
+// when it is actually inserted — repeated Puts of one memoized snapshot
+// must not inflate the totals.
 func (c *IndexCache) Put(key string, ix *Index) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	before := len(c.entries)
 	c.put(key, ix)
+	if len(c.entries) != before {
+		c.countContainers(ix)
+	}
+}
+
+// countContainers accumulates one index's container mix into the cache
+// telemetry. Caller holds c.mu.
+func (c *IndexCache) countContainers(ix *Index) {
+	st := ix.ContainerStats()
+	c.arrays += uint64(st.Arrays)
+	c.bitsets += uint64(st.Bitsets)
+	c.runs += uint64(st.Runs)
+	c.bytesSaved += uint64(st.BytesSaved())
 }
 
 // InvalidateFingerprint removes every cached index derived from the
@@ -206,12 +240,16 @@ func (c *IndexCache) Stats() IndexCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return IndexCacheStats{
-		Builds:        c.builds,
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
-		Bytes:         c.used,
-		Entries:       len(c.entries),
+		Builds:           c.builds,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Evictions:        c.evictions,
+		Invalidations:    c.invalidations,
+		Bytes:            c.used,
+		Entries:          len(c.entries),
+		ContainerArrays:  c.arrays,
+		ContainerBitsets: c.bitsets,
+		ContainerRuns:    c.runs,
+		BytesSaved:       c.bytesSaved,
 	}
 }

@@ -317,31 +317,11 @@ func (li *LiveIndex) Snapshot() *Index {
 		ix.txOff = append(ix.txOff, int32(len(ix.txArena)))
 		ix.weights = append(ix.weights, 1)
 	}
-	ix.uniques = len(ix.weights)
-	for _, w := range ix.weights {
-		if w > 1 {
-			ix.weighted = true
-			break
-		}
-	}
-
-	ix.words = (ix.uniques + 63) / 64
-	ix.bitmaps = make([]uint64, len(ix.items)*ix.words)
-	for t := 0; t+1 < len(ix.txOff); t++ {
-		w, bit := t>>6, uint(t&63)
-		for _, p := range ix.txArena[ix.txOff[t]:ix.txOff[t+1]] {
-			ix.bitmaps[int(p)*ix.words+w] |= 1 << bit
-		}
-	}
-	if ix.weighted {
-		for len(ix.weights) < ix.words*64 {
-			ix.weights = append(ix.weights, 0)
-		}
-	}
-
-	ix.bytes = int64(len(ix.txArena))*4 + int64(len(ix.txOff))*4 +
-		int64(len(ix.weights))*4 + int64(len(ix.bitmaps))*8 +
-		int64(len(ix.items))*8 + int64(len(ix.pos))*16 + int64(len(ix.fp))
+	// Container layout, weight padding and byte accounting are the one
+	// shared finalize pass — container choice is a pure function of each
+	// tidset, so the snapshot's postings match BuildIndex's structurally,
+	// not just semantically (pinned by the live differential suite).
+	ix.finalize(false)
 
 	li.snap, li.snapEpoch = ix, li.epoch
 	li.snapshots++

@@ -131,6 +131,14 @@ const (
 	// (occurrences / (transactions × distinct items)): below ~1 set bit
 	// per word the AND sweeps are mostly zero work.
 	minEclatDensity = 1.0 / 64
+	// minEclatCompressedShare is the container-aware relaxation of the
+	// density bound, available only to Index.ChooseKernel (raw mining
+	// has no containers): a corpus too sparse for dense sweeps still
+	// mines well vertically when at least this fraction of its items
+	// sit in array/run containers, because galloping intersections cost
+	// per posting, not per bitmap word. Inclusive edge, pinned one off
+	// each side by TestChooseKernelCompressedShareBoundary.
+	minEclatCompressedShare = 0.75
 )
 
 // ChooseKernel picks the cheaper mining kernel for a transaction

@@ -187,6 +187,18 @@ func (m *metrics) WriteTo(w io.Writer, cache *resultCache, indexes *itemset.Inde
 	appendf("# HELP cuisinevol_index_entries Corpus indexes currently cached.\n")
 	appendf("# TYPE cuisinevol_index_entries gauge\n")
 	appendf("cuisinevol_index_entries %d\n", ist.Entries)
+	appendf("# HELP cuisinevol_index_container_array_total Items laid out as sorted-array posting containers, across all indexes cached.\n")
+	appendf("# TYPE cuisinevol_index_container_array_total counter\n")
+	appendf("cuisinevol_index_container_array_total %d\n", ist.ContainerArrays)
+	appendf("# HELP cuisinevol_index_container_bitset_total Items laid out as dense-bitset posting containers, across all indexes cached.\n")
+	appendf("# TYPE cuisinevol_index_container_bitset_total counter\n")
+	appendf("cuisinevol_index_container_bitset_total %d\n", ist.ContainerBitsets)
+	appendf("# HELP cuisinevol_index_container_run_total Items laid out as run-length posting containers, across all indexes cached.\n")
+	appendf("# TYPE cuisinevol_index_container_run_total counter\n")
+	appendf("cuisinevol_index_container_run_total %d\n", ist.ContainerRuns)
+	appendf("# HELP cuisinevol_index_bytes_saved_total Posting bytes the adaptive container layout saved over a uniform dense one, across all indexes cached.\n")
+	appendf("# TYPE cuisinevol_index_bytes_saved_total counter\n")
+	appendf("cuisinevol_index_bytes_saved_total %d\n", ist.BytesSaved)
 
 	rst := registry.Stats()
 	appendf("# HELP cuisinevol_corpus_loads_total Corpus loads from the backing store (singleflight-deduplicated).\n")

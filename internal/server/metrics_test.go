@@ -77,6 +77,10 @@ func TestMetricsExpositionParses(t *testing.T) {
 		"cuisinevol_index_bytes":                     "gauge",
 		"cuisinevol_index_entries":                   "gauge",
 		"cuisinevol_index_invalidations_total":       "counter",
+		"cuisinevol_index_container_array_total":     "counter",
+		"cuisinevol_index_container_bitset_total":    "counter",
+		"cuisinevol_index_container_run_total":       "counter",
+		"cuisinevol_index_bytes_saved_total":         "counter",
 		"cuisinevol_live_appends_total":              "counter",
 		"cuisinevol_live_appended_tx_total":          "counter",
 		"cuisinevol_live_seeds_total":                "counter",
@@ -108,6 +112,11 @@ func TestMetricsExpositionParses(t *testing.T) {
 	}
 	if samples["cuisinevol_computations_total"] != 1 {
 		t.Errorf("computations = %v (want 1)", samples["cuisinevol_computations_total"])
+	}
+	if total := samples["cuisinevol_index_container_array_total"] +
+		samples["cuisinevol_index_container_bitset_total"] +
+		samples["cuisinevol_index_container_run_total"]; total < 1 {
+		t.Errorf("container totals = %v after index builds (want >= 1)", total)
 	}
 
 	// Histogram invariants for the overrep endpoint: buckets cumulative,
